@@ -1,0 +1,470 @@
+//! The surface abstract syntax tree for CIL.
+//!
+//! Produced by the [parser](crate::parser) or the
+//! [builder](crate::build::ProgramBuilder), consumed by the
+//! [checker](crate::check()) and [lowering](crate::lower).
+//!
+//! The surface language is deliberately Java-flavoured: reentrant monitors
+//! (`sync`), `wait`/`notify`/`notifyall`, `spawn`/`join`/`interrupt`, and
+//! named exceptions with `try`/`catch` — these are the constructs whose
+//! dynamic events the RaceFuzzer algorithms observe and control.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A parsed CIL module: classes, globals, and procedures.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Module {
+    /// Record type declarations.
+    pub classes: Vec<ClassDecl>,
+    /// Shared global variables.
+    pub globals: Vec<GlobalDecl>,
+    /// Procedures. Execution starts at `main()`.
+    pub procs: Vec<ProcDecl>,
+}
+
+impl Module {
+    /// Returns the procedure with the given name, if any.
+    pub fn proc_named(&self, name: &str) -> Option<&ProcDecl> {
+        self.procs.iter().find(|proc| proc.name == name)
+    }
+}
+
+/// `class Name { field, field, … }` — a record type for heap objects.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassDecl {
+    /// The class name.
+    pub name: String,
+    /// Field names, in declaration order.
+    pub fields: Vec<String>,
+    /// Source location of the declaration.
+    pub span: Span,
+}
+
+/// `global name = literal;` — a shared global variable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GlobalDecl {
+    /// The global's name.
+    pub name: String,
+    /// Initial value (defaults to `null` when omitted).
+    pub init: Option<Literal>,
+    /// Source location of the declaration.
+    pub span: Span,
+}
+
+/// `proc name(params…) { body }` — a procedure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProcDecl {
+    /// The procedure name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// The procedure body.
+    pub body: Block,
+    /// Source location of the declaration header.
+    pub span: Span,
+}
+
+/// A `{ … }` sequence of statements.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Block {
+    /// The statements, in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement with its source span and an optional `@tag`.
+///
+/// Tags give statements stable names so tests and benchmark harnesses can
+/// build `RaceSet`s without depending on instruction numbering.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stmt {
+    /// What the statement does.
+    pub kind: StmtKind,
+    /// Source location.
+    pub span: Span,
+    /// Optional `@name` label attached to the statement.
+    pub tag: Option<String>,
+}
+
+impl Stmt {
+    /// Creates an untagged statement.
+    pub fn new(kind: StmtKind, span: Span) -> Self {
+        Stmt {
+            kind,
+            span,
+            tag: None,
+        }
+    }
+}
+
+/// The statement forms of CIL.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StmtKind {
+    /// `var x;` or `var x = rhs;`
+    VarDecl {
+        /// The new local's name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Rhs>,
+    },
+    /// `lvalue = rhs;` — `target` of `None` discards the result
+    /// (bare call/spawn statements).
+    Assign {
+        /// Where to store the result; `None` discards it.
+        target: Option<LValue>,
+        /// The value being assigned.
+        value: Rhs,
+    },
+    /// `if (cond) { … } else { … }`
+    If {
+        /// The branch condition.
+        cond: Expr,
+        /// Taken when `cond` is true.
+        then_branch: Block,
+        /// Taken when `cond` is false.
+        else_branch: Option<Block>,
+    },
+    /// `while (cond) { … }`
+    While {
+        /// The loop condition.
+        cond: Expr,
+        /// The loop body.
+        body: Block,
+    },
+    /// `sync (obj) { … }` — Java-style monitor block; the monitor is
+    /// released on normal **and** exceptional exit.
+    Sync {
+        /// The monitor object.
+        obj: Expr,
+        /// The protected body.
+        body: Block,
+    },
+    /// `lock obj;` — raw acquire (no automatic release on unwind).
+    Lock(Expr),
+    /// `unlock obj;` — raw release.
+    Unlock(Expr),
+    /// `wait obj;` — release the monitor and wait for a notification.
+    Wait(Expr),
+    /// `notify obj;` — wake one waiter.
+    Notify(Expr),
+    /// `notifyall obj;` — wake all waiters.
+    NotifyAll(Expr),
+    /// `join t;` — wait for thread `t` to terminate.
+    Join(Expr),
+    /// `interrupt t;` — set `t`'s interrupt flag.
+    Interrupt(Expr),
+    /// `sleep n;` — an interruptible no-op.
+    Sleep(Expr),
+    /// `assert cond : "msg";`
+    Assert {
+        /// Must evaluate to `true`.
+        cond: Expr,
+        /// Failure message.
+        message: Option<String>,
+    },
+    /// `throw Name("msg");`
+    Throw {
+        /// The exception name.
+        exception: String,
+        /// Optional detail message.
+        message: Option<String>,
+    },
+    /// `try { … } catch (Name, …) { … }` or `catch (*)`.
+    Try {
+        /// The protected body.
+        body: Block,
+        /// Which exceptions the handler catches.
+        filter: CatchFilter,
+        /// The handler block.
+        handler: Block,
+    },
+    /// `return;` or `return e;`
+    Return(Option<Expr>),
+    /// `print;` or `print e;` — debugging aid.
+    Print(Option<Expr>),
+    /// `nop;` — does nothing; used as schedule padding (paper §3.2).
+    Nop,
+}
+
+/// Which exception names a `catch` clause handles.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CatchFilter {
+    /// `catch (*)` — everything.
+    All,
+    /// `catch (A, B, …)` — only the listed names.
+    Named(Vec<String>),
+}
+
+impl CatchFilter {
+    /// Returns `true` if an exception called `name` is caught.
+    pub fn matches(&self, name: &str) -> bool {
+        match self {
+            CatchFilter::All => true,
+            CatchFilter::Named(names) => names.iter().any(|n| n == name),
+        }
+    }
+}
+
+/// The right-hand side of an assignment or initializer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Rhs {
+    /// An ordinary expression.
+    Expr(Expr),
+    /// `new ClassName` — allocate an object.
+    New {
+        /// The class to instantiate.
+        class: String,
+        /// Source location.
+        span: Span,
+    },
+    /// `new [len]` — allocate an array of `null`s.
+    NewArray {
+        /// Element count.
+        len: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// `spawn p(args…)` — start a new thread; the value is its handle.
+    Spawn {
+        /// Procedure run by the new thread.
+        proc: String,
+        /// Arguments passed to it.
+        args: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `p(args…)` — a procedure call.
+    Call {
+        /// The callee.
+        proc: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Rhs {
+    /// The source span of this right-hand side.
+    pub fn span(&self) -> Span {
+        match self {
+            Rhs::Expr(expr) => expr.span,
+            Rhs::New { span, .. }
+            | Rhs::NewArray { span, .. }
+            | Rhs::Spawn { span, .. }
+            | Rhs::Call { span, .. } => *span,
+        }
+    }
+}
+
+/// An assignable place.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LValue {
+    /// A local or global variable (resolved by the checker).
+    Name(String, Span),
+    /// `obj.field`
+    Field {
+        /// Evaluates to the object.
+        obj: Expr,
+        /// The field name.
+        field: String,
+    },
+    /// `arr[index]`
+    Index {
+        /// Evaluates to the array.
+        arr: Expr,
+        /// Evaluates to the element index.
+        index: Expr,
+    },
+}
+
+impl LValue {
+    /// The source span of this lvalue.
+    pub fn span(&self) -> Span {
+        match self {
+            LValue::Name(_, span) => *span,
+            LValue::Field { obj, .. } => obj.span,
+            LValue::Index { arr, index } => arr.span.merge(index.span),
+        }
+    }
+}
+
+/// An expression with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Expr {
+    /// The expression form.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Expr {
+    /// Creates an expression node.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+}
+
+/// The expression forms of CIL.
+///
+/// Reads of globals, fields, and array elements are *shared-memory reads*;
+/// lowering hoists each one into its own instruction so that every flat
+/// instruction performs at most one shared access.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExprKind {
+    /// A literal constant.
+    Literal(Literal),
+    /// A local or global variable (resolved by the checker).
+    Name(String),
+    /// `obj.field` — shared read.
+    Field {
+        /// Evaluates to the object.
+        obj: Box<Expr>,
+        /// The field name.
+        field: String,
+    },
+    /// `arr[index]` — shared read.
+    Index {
+        /// Evaluates to the array.
+        arr: Box<Expr>,
+        /// Evaluates to the index.
+        index: Box<Expr>,
+    },
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        operand: Box<Expr>,
+    },
+    /// A binary operation. `&&`/`||` are *strict* (both sides evaluate).
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `len(arr)` — array length (immutable, hence not a shared access).
+    Len(Box<Expr>),
+}
+
+/// A literal constant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Literal {
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A string (used for messages and state tags).
+    Str(String),
+    /// The null reference.
+    Null,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnOp::Neg => write!(f, "-"),
+            UnOp::Not => write!(f, "!"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (throws `ArithmeticException` on division by zero)
+    Div,
+    /// `%` (throws `ArithmeticException` on division by zero)
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (strict)
+    And,
+    /// `||` (strict)
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        write!(f, "{text}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catch_filter_matches() {
+        assert!(CatchFilter::All.matches("Anything"));
+        let named = CatchFilter::Named(vec!["A".into(), "B".into()]);
+        assert!(named.matches("A"));
+        assert!(named.matches("B"));
+        assert!(!named.matches("C"));
+    }
+
+    #[test]
+    fn proc_named_finds_procs() {
+        let module = Module {
+            classes: vec![],
+            globals: vec![],
+            procs: vec![ProcDecl {
+                name: "main".into(),
+                params: vec![],
+                body: Block::default(),
+                span: Span::SYNTHETIC,
+            }],
+        };
+        assert!(module.proc_named("main").is_some());
+        assert!(module.proc_named("other").is_none());
+    }
+
+    #[test]
+    fn operators_display() {
+        assert_eq!(BinOp::Le.to_string(), "<=");
+        assert_eq!(UnOp::Not.to_string(), "!");
+    }
+}

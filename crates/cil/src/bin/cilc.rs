@@ -1,0 +1,93 @@
+//! `cilc` — the CIL compiler driver.
+//!
+//! ```text
+//! cilc check  <file.cil>     # parse + well-formedness check
+//! cilc disasm <file.cil>     # lowered flat-IR listing
+//! cilc fmt    <file.cil>     # parse and pretty-print (unparse)
+//! cilc stats  <file.cil>     # program statistics
+//! ```
+//!
+//! Exit code 0 on success, 1 on any compilation error (the error is
+//! printed with its source position).
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cilc <check|disasm|fmt|stats> <file.cil>");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [command, path] = args.as_slice() else {
+        return usage();
+    };
+
+    let source = match std::fs::read_to_string(path) {
+        Ok(source) => source,
+        Err(error) => {
+            eprintln!("cilc: cannot read `{path}`: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match command.as_str() {
+        "check" => match cil::compile(&source) {
+            Ok(program) => {
+                println!(
+                    "ok: {} class(es), {} global(s), {} proc(s), {} instruction(s)",
+                    program.classes.len(),
+                    program.globals.len(),
+                    program.proc_count(),
+                    program.instr_count()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(error) => {
+                eprintln!("{path}:{error}");
+                ExitCode::FAILURE
+            }
+        },
+        "disasm" => match cil::compile(&source) {
+            Ok(program) => {
+                print!("{}", cil::pretty::disassemble(&program));
+                ExitCode::SUCCESS
+            }
+            Err(error) => {
+                eprintln!("{path}:{error}");
+                ExitCode::FAILURE
+            }
+        },
+        "fmt" => match cil::parse(&source) {
+            Ok(module) => {
+                print!("{}", cil::unparse::unparse_module(&module));
+                ExitCode::SUCCESS
+            }
+            Err(error) => {
+                eprintln!("{path}:{error}");
+                ExitCode::FAILURE
+            }
+        },
+        "stats" => match cil::compile(&source) {
+            Ok(program) => {
+                let accesses = program.memory_access_instrs().count();
+                let sync_ops = program
+                    .instrs
+                    .iter()
+                    .filter(|instr| instr.is_sync_op())
+                    .count();
+                println!("instructions:       {}", program.instr_count());
+                println!("shared accesses:    {accesses}");
+                println!("sync operations:    {sync_ops}");
+                println!("procedures:         {}", program.proc_count());
+                println!("tagged statements:  {}", program.tags.len());
+                ExitCode::SUCCESS
+            }
+            Err(error) => {
+                eprintln!("{path}:{error}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage(),
+    }
+}

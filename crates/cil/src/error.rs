@@ -1,0 +1,66 @@
+//! Compilation errors.
+
+use crate::span::Span;
+use std::fmt;
+
+/// An error produced while lexing, parsing, or checking CIL source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    /// What went wrong.
+    pub kind: ErrorKind,
+    /// Where it went wrong.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Error {
+    /// Creates an error.
+    pub fn new(kind: ErrorKind, span: Span, message: impl Into<String>) -> Self {
+        Error {
+            kind,
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+/// The broad category of a compilation error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// An unrecognised or malformed token.
+    Lex,
+    /// A syntax error.
+    Parse,
+    /// A scope, arity, or declaration error.
+    Check,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorKind::Lex => write!(f, "lex error"),
+            ErrorKind::Parse => write!(f, "parse error"),
+            ErrorKind::Check => write!(f, "check error"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}: {}", self.kind, self.span, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_and_message() {
+        let error = Error::new(ErrorKind::Parse, Span::new(0, 1, 3, 9), "expected `;`");
+        assert_eq!(error.to_string(), "parse error at 3:9: expected `;`");
+    }
+}

@@ -1,0 +1,133 @@
+//! String interning.
+//!
+//! Identifiers (class, field, global, procedure, and exception names) are
+//! interned to small integer [`Symbol`]s so that the interpreter and the race
+//! detector can compare and hash names in O(1) — memory-location identity in
+//! the detector is `(object, field-symbol)`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// An interned string. Cheap to copy, compare, and hash.
+///
+/// Symbols are only meaningful relative to the [`Interner`] that produced
+/// them; each compiled [`crate::Program`] owns one interner.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The raw index of this symbol in its interner.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+/// A table mapping strings to [`Symbol`]s and back.
+///
+/// # Examples
+///
+/// ```
+/// use cil::Interner;
+///
+/// let mut interner = Interner::new();
+/// let a = interner.intern("head");
+/// let b = interner.intern("head");
+/// assert_eq!(a, b);
+/// assert_eq!(interner.resolve(a), "head");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    names: Vec<Rc<str>>,
+    indices: HashMap<Rc<str>, Symbol>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its (possibly pre-existing) symbol.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&symbol) = self.indices.get(name) {
+            return symbol;
+        }
+        let rc: Rc<str> = Rc::from(name);
+        let symbol = Symbol(self.names.len() as u32);
+        self.names.push(Rc::clone(&rc));
+        self.indices.insert(rc, symbol);
+        symbol
+    }
+
+    /// Looks up a name without interning it.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.indices.get(name).copied()
+    }
+
+    /// Returns the string for `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` did not come from this interner.
+    pub fn resolve(&self, symbol: Symbol) -> &str {
+        &self.names[symbol.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut interner = Interner::new();
+        let a = interner.intern("x");
+        let b = interner.intern("y");
+        assert_ne!(a, b);
+        assert_eq!(interner.intern("x"), a);
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut interner = Interner::new();
+        let names = ["alpha", "beta", "gamma"];
+        let symbols: Vec<_> = names.iter().map(|name| interner.intern(name)).collect();
+        for (name, symbol) in names.iter().zip(&symbols) {
+            assert_eq!(interner.resolve(*symbol), *name);
+        }
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut interner = Interner::new();
+        assert_eq!(interner.lookup("missing"), None);
+        let symbol = interner.intern("present");
+        assert_eq!(interner.lookup("present"), Some(symbol));
+        assert_eq!(interner.len(), 1);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let interner = Interner::new();
+        assert!(interner.is_empty());
+        assert_eq!(interner.len(), 0);
+    }
+}

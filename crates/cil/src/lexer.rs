@@ -1,0 +1,508 @@
+//! The CIL lexer.
+//!
+//! Converts source text into a token stream for the [parser](crate::parser).
+//! Supports `//` line comments and `/* … */` block comments.
+
+use crate::error::{Error, ErrorKind};
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token kind (and payload for literals/identifiers).
+    pub kind: TokenKind,
+    /// Where the token appeared.
+    pub span: Span,
+}
+
+/// The kinds of CIL tokens.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword candidate.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A string literal (unescaped contents).
+    Str(String),
+    /// `@name` — a statement tag.
+    Tag(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(name) => write!(f, "identifier `{name}`"),
+            TokenKind::Int(value) => write!(f, "integer `{value}`"),
+            TokenKind::Str(_) => write!(f, "string literal"),
+            TokenKind::Tag(name) => write!(f, "tag `@{name}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::NotEq => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::AndAnd => write!(f, "`&&`"),
+            TokenKind::OrOr => write!(f, "`||`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+struct Lexer<'src> {
+    src: &'src [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'src> Lexer<'src> {
+    fn new(src: &'src str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let byte = self.peek()?;
+        self.pos += 1;
+        if byte == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(byte)
+    }
+
+    fn here(&self) -> (u32, u32, u32) {
+        (self.pos as u32, self.line, self.col)
+    }
+
+    fn span_from(&self, start: (u32, u32, u32)) -> Span {
+        Span::new(start.0, self.pos as u32, start.1, start.2)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Error> {
+        loop {
+            match self.peek() {
+                Some(byte) if byte.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(byte) = self.peek() {
+                        if byte == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.here();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(Error::new(
+                                    ErrorKind::Lex,
+                                    self.span_from(start),
+                                    "unterminated block comment",
+                                ));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let start = self.pos;
+        while let Some(byte) = self.peek() {
+            if byte.is_ascii_alphanumeric() || byte == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn next_token(&mut self) -> Result<Token, Error> {
+        self.skip_trivia()?;
+        let start = self.here();
+        let Some(byte) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                span: self.span_from(start),
+            });
+        };
+
+        let kind = match byte {
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => TokenKind::Ident(self.ident()),
+            b'0'..=b'9' => {
+                let digits_start = self.pos;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.bump();
+                }
+                let text = std::str::from_utf8(&self.src[digits_start..self.pos])
+                    .expect("digits are valid UTF-8");
+                let value = text.parse::<i64>().map_err(|_| {
+                    Error::new(
+                        ErrorKind::Lex,
+                        self.span_from(start),
+                        format!("integer literal `{text}` out of range"),
+                    )
+                })?;
+                TokenKind::Int(value)
+            }
+            b'@' => {
+                self.bump();
+                if !matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'_')) {
+                    return Err(Error::new(
+                        ErrorKind::Lex,
+                        self.span_from(start),
+                        "expected identifier after `@`",
+                    ));
+                }
+                TokenKind::Tag(self.ident())
+            }
+            b'"' => {
+                self.bump();
+                let mut contents = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'"') => break,
+                        Some(b'\\') => match self.bump() {
+                            Some(b'n') => contents.push('\n'),
+                            Some(b't') => contents.push('\t'),
+                            Some(b'\\') => contents.push('\\'),
+                            Some(b'"') => contents.push('"'),
+                            other => {
+                                return Err(Error::new(
+                                    ErrorKind::Lex,
+                                    self.span_from(start),
+                                    format!(
+                                        "invalid escape `\\{}`",
+                                        other.map(|b| b as char).unwrap_or(' ')
+                                    ),
+                                ));
+                            }
+                        },
+                        Some(byte) => contents.push(byte as char),
+                        None => {
+                            return Err(Error::new(
+                                ErrorKind::Lex,
+                                self.span_from(start),
+                                "unterminated string literal",
+                            ));
+                        }
+                    }
+                }
+                TokenKind::Str(contents)
+            }
+            b'(' => self.single(TokenKind::LParen),
+            b')' => self.single(TokenKind::RParen),
+            b'{' => self.single(TokenKind::LBrace),
+            b'}' => self.single(TokenKind::RBrace),
+            b'[' => self.single(TokenKind::LBracket),
+            b']' => self.single(TokenKind::RBracket),
+            b',' => self.single(TokenKind::Comma),
+            b';' => self.single(TokenKind::Semi),
+            b':' => self.single(TokenKind::Colon),
+            b'.' => self.single(TokenKind::Dot),
+            b'+' => self.single(TokenKind::Plus),
+            b'-' => self.single(TokenKind::Minus),
+            b'*' => self.single(TokenKind::Star),
+            b'/' => self.single(TokenKind::Slash),
+            b'%' => self.single(TokenKind::Percent),
+            b'=' => self.one_or_two(b'=', TokenKind::Assign, TokenKind::EqEq),
+            b'!' => self.one_or_two(b'=', TokenKind::Bang, TokenKind::NotEq),
+            b'<' => self.one_or_two(b'=', TokenKind::Lt, TokenKind::Le),
+            b'>' => self.one_or_two(b'=', TokenKind::Gt, TokenKind::Ge),
+            b'&' => {
+                if self.peek2() == Some(b'&') {
+                    self.bump();
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    return Err(Error::new(
+                        ErrorKind::Lex,
+                        self.span_from(start),
+                        "expected `&&`",
+                    ));
+                }
+            }
+            b'|' => {
+                if self.peek2() == Some(b'|') {
+                    self.bump();
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    return Err(Error::new(
+                        ErrorKind::Lex,
+                        self.span_from(start),
+                        "expected `||`",
+                    ));
+                }
+            }
+            other => {
+                return Err(Error::new(
+                    ErrorKind::Lex,
+                    self.span_from(start),
+                    format!("unexpected character `{}`", other as char),
+                ));
+            }
+        };
+
+        Ok(Token {
+            kind,
+            span: self.span_from(start),
+        })
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+
+    fn one_or_two(&mut self, second: u8, one: TokenKind, two: TokenKind) -> TokenKind {
+        self.bump();
+        if self.peek() == Some(second) {
+            self.bump();
+            two
+        } else {
+            one
+        }
+    }
+}
+
+/// Tokenizes `source`, appending a final [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns a lex error for malformed literals, comments, or stray
+/// characters.
+///
+/// # Examples
+///
+/// ```
+/// let tokens = cil::lexer::tokenize("x = 1;").unwrap();
+/// assert_eq!(tokens.len(), 5); // ident, =, int, ;, EOF
+/// ```
+pub fn tokenize(source: &str) -> Result<Vec<Token>, Error> {
+    let mut lexer = Lexer::new(source);
+    let mut tokens = Vec::new();
+    loop {
+        let token = lexer.next_token()?;
+        let done = token.kind == TokenKind::Eof;
+        tokens.push(token);
+        if done {
+            return Ok(tokens);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        tokenize(source)
+            .unwrap()
+            .into_iter()
+            .map(|token| token.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_symbols_and_idents() {
+        assert_eq!(
+            kinds("x = y + 1;"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("y".into()),
+                TokenKind::Plus,
+                TokenKind::Int(1),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= && || < >"),
+            vec![
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""hello\nworld""#),
+            vec![TokenKind::Str("hello\nworld".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_tags() {
+        assert_eq!(
+            kinds("@race_write x = 1;"),
+            vec![
+                TokenKind::Tag("race_write".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(1),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("a // line\n /* block\n comment */ b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_and_column() {
+        let tokens = tokenize("a\n  b").unwrap();
+        assert_eq!((tokens[0].span.line, tokens[0].span.col), (1, 1));
+        assert_eq!((tokens[1].span.line, tokens[1].span.col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(tokenize(r#""oops"#).is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(tokenize("/* forever").is_err());
+    }
+
+    #[test]
+    fn rejects_single_ampersand() {
+        assert!(tokenize("a & b").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_character() {
+        assert!(tokenize("a # b").is_err());
+    }
+
+    #[test]
+    fn rejects_huge_integer() {
+        assert!(tokenize("99999999999999999999999999").is_err());
+    }
+}

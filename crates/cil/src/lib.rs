@@ -1,0 +1,112 @@
+//! CIL — a small **c**oncurrent **i**mperative **l**anguage.
+//!
+//! CIL is the program substrate for this reproduction of *Race Directed
+//! Random Testing of Concurrent Programs* (PLDI 2008). The paper instruments
+//! Java bytecode; this crate provides the equivalent role for Rust: a
+//! language whose programs can be executed one statement at a time by a
+//! fully-controlled scheduler (see the `interp` crate), which is exactly the
+//! abstract machine interface (`Enabled`, `NextStmt`, `Execute`) the paper's
+//! algorithms are written against.
+//!
+//! The pipeline is:
+//!
+//! 1. **Parse** CIL source text ([`parse`]) or build an AST programmatically
+//!    ([`build::ProgramBuilder`]).
+//! 2. **Check** the AST for well-formedness ([`check()`](crate::check()) runs automatically
+//!    inside [`compile`]).
+//! 3. **Lower** to the flat IR ([`flat::Program`]): straight-line instruction
+//!    sequences with explicit jumps, where every instruction performs **at
+//!    most one shared-memory access** and the address operands of shared
+//!    accesses are pure over thread-local slots. This enforces the paper's
+//!    modelling assumption that "a statement in the program can access at
+//!    most one shared object" (§2.1) and makes `NextStmt`'s memory location
+//!    computable without side effects.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), cil::Error> {
+//! let program = cil::compile(
+//!     r#"
+//!     global x = 0;
+//!     proc writer() { x = 1; }
+//!     proc main() {
+//!         var t = spawn writer();
+//!         @read_x var y = x;   // tagged statement, racy with the write
+//!         join t;
+//!     }
+//!     "#,
+//! )?;
+//! assert!(program.proc_named("main").is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod build;
+pub mod check;
+pub mod error;
+pub mod flat;
+pub mod intern;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod pretty;
+pub mod span;
+pub mod unparse;
+pub mod validate;
+
+pub use ast::Module;
+pub use error::{Error, ErrorKind};
+pub use flat::{Const, Instr, InstrId, Program};
+pub use intern::{Interner, Symbol};
+pub use span::Span;
+
+/// Parses CIL source text into an unchecked AST module.
+///
+/// Most callers want [`compile`], which also checks and lowers.
+///
+/// # Errors
+///
+/// Returns a parse error with the offending [`Span`] on malformed input.
+pub fn parse(source: &str) -> Result<Module, Error> {
+    parser::parse_module(source)
+}
+
+/// Checks a parsed module for well-formedness.
+///
+/// # Errors
+///
+/// Returns the first scope/arity/declaration error found.
+pub fn check(module: &Module) -> Result<check::ModuleInfo, Error> {
+    check::check_module(module)
+}
+
+/// Parses, checks, and lowers CIL source text to the executable flat IR.
+///
+/// # Errors
+///
+/// Returns lexing, parsing, or checking errors; lowering itself cannot fail
+/// on a checked module.
+///
+/// # Examples
+///
+/// ```
+/// let program = cil::compile("proc main() { print 42; }").unwrap();
+/// assert_eq!(program.proc_count(), 1);
+/// ```
+pub fn compile(source: &str) -> Result<Program, Error> {
+    let module = parse(source)?;
+    compile_module(&module)
+}
+
+/// Checks and lowers an already-parsed module (e.g. one built with
+/// [`build::ProgramBuilder`]).
+///
+/// # Errors
+///
+/// Returns checking errors.
+pub fn compile_module(module: &Module) -> Result<Program, Error> {
+    let info = check(module)?;
+    Ok(lower::lower_module(module, &info))
+}

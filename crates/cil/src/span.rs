@@ -1,0 +1,106 @@
+//! Source locations.
+//!
+//! Every AST node and every lowered instruction carries a [`Span`] so that
+//! race reports can point back at the statements involved, mirroring how the
+//! paper reports "racing pairs of statements" at Java source positions.
+
+use std::fmt;
+
+/// A half-open byte range into the source text, plus 1-based line/column of
+/// its start for human-readable reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+    /// 1-based line of `start` (0 for synthesized nodes).
+    pub line: u32,
+    /// 1-based column of `start` (0 for synthesized nodes).
+    pub col: u32,
+}
+
+impl Span {
+    /// A span for nodes synthesized by builders or lowering, with no source.
+    pub const SYNTHETIC: Span = Span {
+        start: 0,
+        end: 0,
+        line: 0,
+        col: 0,
+    };
+
+    /// Creates a span covering `start..end` at the given line/column.
+    pub fn new(start: u32, end: u32, line: u32, col: u32) -> Self {
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    ///
+    /// Line/column information is taken from whichever span starts first.
+    pub fn merge(self, other: Span) -> Span {
+        if self == Span::SYNTHETIC {
+            return other;
+        }
+        if other == Span::SYNTHETIC {
+            return self;
+        }
+        let (line, col) = if self.start <= other.start {
+            (self.line, self.col)
+        } else {
+            (other.line, other.col)
+        };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line,
+            col,
+        }
+    }
+
+    /// Returns `true` if this span carries no source position.
+    pub fn is_synthetic(&self) -> bool {
+        *self == Span::SYNTHETIC
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_synthetic() {
+            write!(f, "<builtin>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(4, 10, 1, 5);
+        let b = Span::new(12, 20, 2, 1);
+        let m = a.merge(b);
+        assert_eq!((m.start, m.end), (4, 20));
+        assert_eq!((m.line, m.col), (1, 5));
+    }
+
+    #[test]
+    fn merge_with_synthetic_keeps_real() {
+        let a = Span::new(4, 10, 1, 5);
+        assert_eq!(a.merge(Span::SYNTHETIC), a);
+        assert_eq!(Span::SYNTHETIC.merge(a), a);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Span::new(0, 1, 3, 7).to_string(), "3:7");
+        assert_eq!(Span::SYNTHETIC.to_string(), "<builtin>");
+    }
+}

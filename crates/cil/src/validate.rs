@@ -1,0 +1,346 @@
+//! Structural validation of lowered programs.
+//!
+//! Lowering establishes these invariants by construction; [`validate`]
+//! re-checks them so that hand-assembled or mutated [`Program`]s (and
+//! regressions in lowering itself) fail loudly instead of corrupting an
+//! execution. The dynamic analyses rely on every one of these properties.
+
+use crate::flat::{Instr, InstrId, LocalId, Program, PureExpr};
+
+/// A violated IR invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidationError {
+    /// The offending instruction.
+    pub instr: InstrId,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "instruction {}: {}", self.instr, self.message)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+fn check_local(
+    program: &Program,
+    proc_index: usize,
+    instr: InstrId,
+    local: LocalId,
+    errors: &mut Vec<ValidationError>,
+) {
+    let count = program.procs[proc_index].local_count();
+    if local.index() >= count {
+        errors.push(ValidationError {
+            instr,
+            message: format!("local slot {local} out of range (frame has {count})"),
+        });
+    }
+}
+
+fn check_pure(
+    program: &Program,
+    proc_index: usize,
+    instr: InstrId,
+    expr: &PureExpr,
+    errors: &mut Vec<ValidationError>,
+) {
+    match expr {
+        PureExpr::Const(_) => {}
+        PureExpr::Local(local) => check_local(program, proc_index, instr, *local, errors),
+        PureExpr::Unary { operand, .. } => {
+            check_pure(program, proc_index, instr, operand, errors)
+        }
+        PureExpr::Binary { lhs, rhs, .. } => {
+            check_pure(program, proc_index, instr, lhs, errors);
+            check_pure(program, proc_index, instr, rhs, errors);
+        }
+        PureExpr::Len(inner) => check_pure(program, proc_index, instr, inner, errors),
+    }
+}
+
+fn check_target(
+    program: &Program,
+    proc_index: usize,
+    instr: InstrId,
+    target: InstrId,
+    errors: &mut Vec<ValidationError>,
+) {
+    if !program.procs[proc_index].contains(target) {
+        errors.push(ValidationError {
+            instr,
+            message: format!("jump target {target} escapes the procedure"),
+        });
+    }
+}
+
+/// Checks every structural invariant of a lowered program:
+///
+/// * procedure code ranges tile the instruction array exactly;
+/// * jump/branch/handler targets stay inside their procedure;
+/// * every local slot reference fits the owning frame;
+/// * every `Call`/`Spawn` passes the callee's exact arity;
+/// * class/global/proc indices are in range;
+/// * the span table is parallel to the instruction array.
+///
+/// Returns all violations (empty = valid).
+pub fn validate(program: &Program) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+
+    if program.spans.len() != program.instrs.len() {
+        errors.push(ValidationError {
+            instr: InstrId(0),
+            message: format!(
+                "span table has {} entries for {} instructions",
+                program.spans.len(),
+                program.instrs.len()
+            ),
+        });
+    }
+
+    // Procedure ranges must tile the program.
+    let mut expected_start = 0u32;
+    for proc in &program.procs {
+        if proc.entry.0 != expected_start || proc.end.0 < proc.entry.0 {
+            errors.push(ValidationError {
+                instr: proc.entry,
+                message: format!(
+                    "procedure `{}` covers [{}, {}) but should start at {expected_start}",
+                    program.name(proc.name),
+                    proc.entry,
+                    proc.end
+                ),
+            });
+        }
+        expected_start = proc.end.0;
+    }
+    if expected_start as usize != program.instrs.len() {
+        errors.push(ValidationError {
+            instr: InstrId(expected_start.saturating_sub(1)),
+            message: "procedure ranges do not cover the whole program".to_string(),
+        });
+    }
+
+    for (index, instr) in program.instrs.iter().enumerate() {
+        let id = InstrId(index as u32);
+        let proc_index = program
+            .procs
+            .iter()
+            .position(|proc| proc.contains(id))
+            .unwrap_or(0);
+        let local = |l: LocalId, errors: &mut Vec<ValidationError>| {
+            check_local(program, proc_index, id, l, errors)
+        };
+        let pure = |e: &PureExpr, errors: &mut Vec<ValidationError>| {
+            check_pure(program, proc_index, id, e, errors)
+        };
+        match instr {
+            Instr::Assign { dst, expr } => {
+                local(*dst, &mut errors);
+                pure(expr, &mut errors);
+            }
+            Instr::LoadGlobal { dst, global } => {
+                local(*dst, &mut errors);
+                if global.index() >= program.globals.len() {
+                    errors.push(ValidationError {
+                        instr: id,
+                        message: format!("global {global} out of range"),
+                    });
+                }
+            }
+            Instr::StoreGlobal { global, src } => {
+                pure(src, &mut errors);
+                if global.index() >= program.globals.len() {
+                    errors.push(ValidationError {
+                        instr: id,
+                        message: format!("global {global} out of range"),
+                    });
+                }
+            }
+            Instr::LoadField { dst, obj, .. } => {
+                local(*dst, &mut errors);
+                local(*obj, &mut errors);
+            }
+            Instr::StoreField { obj, src, .. } => {
+                local(*obj, &mut errors);
+                pure(src, &mut errors);
+            }
+            Instr::LoadElem { dst, arr, idx } => {
+                local(*dst, &mut errors);
+                local(*arr, &mut errors);
+                pure(idx, &mut errors);
+            }
+            Instr::StoreElem { arr, idx, src } => {
+                local(*arr, &mut errors);
+                pure(idx, &mut errors);
+                pure(src, &mut errors);
+            }
+            Instr::New { dst, class } => {
+                local(*dst, &mut errors);
+                if class.index() >= program.classes.len() {
+                    errors.push(ValidationError {
+                        instr: id,
+                        message: format!("class {class} out of range"),
+                    });
+                }
+            }
+            Instr::NewArray { dst, len } => {
+                local(*dst, &mut errors);
+                pure(len, &mut errors);
+            }
+            Instr::Lock { obj, .. }
+            | Instr::Unlock { obj, .. }
+            | Instr::Wait { obj }
+            | Instr::Notify { obj }
+            | Instr::NotifyAll { obj } => local(*obj, &mut errors),
+            Instr::Spawn { dst, proc, args } | Instr::Call { dst, proc, args } => {
+                if let Some(dst) = dst {
+                    local(*dst, &mut errors);
+                }
+                for arg in args {
+                    pure(arg, &mut errors);
+                }
+                match program.procs.get(proc.index()) {
+                    Some(callee) => {
+                        if callee.param_count != args.len() {
+                            errors.push(ValidationError {
+                                instr: id,
+                                message: format!(
+                                    "callee `{}` takes {} argument(s), got {}",
+                                    program.name(callee.name),
+                                    callee.param_count,
+                                    args.len()
+                                ),
+                            });
+                        }
+                    }
+                    None => errors.push(ValidationError {
+                        instr: id,
+                        message: format!("callee {proc} out of range"),
+                    }),
+                }
+            }
+            Instr::Join { thread } | Instr::Interrupt { thread } => {
+                local(*thread, &mut errors)
+            }
+            Instr::Sleep { duration } => pure(duration, &mut errors),
+            Instr::Return { value } => {
+                if let Some(value) = value {
+                    pure(value, &mut errors);
+                }
+            }
+            Instr::Jump { target } => check_target(program, proc_index, id, *target, &mut errors),
+            Instr::Branch {
+                cond,
+                if_true,
+                if_false,
+            } => {
+                pure(cond, &mut errors);
+                check_target(program, proc_index, id, *if_true, &mut errors);
+                check_target(program, proc_index, id, *if_false, &mut errors);
+            }
+            Instr::Assert { cond, .. } => pure(cond, &mut errors),
+            Instr::Throw { .. } | Instr::ExitTry | Instr::Nop => {}
+            Instr::EnterTry { handler, .. } => {
+                check_target(program, proc_index, id, *handler, &mut errors)
+            }
+            Instr::Print { value } => {
+                if let Some(value) = value {
+                    pure(value, &mut errors);
+                }
+            }
+        }
+    }
+
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::GlobalId;
+
+    #[test]
+    fn lowered_programs_validate() {
+        let program = crate::compile(
+            r#"
+            class Pair { a, b }
+            global total = 0;
+            proc add(x, y) { return x + y; }
+            proc main() {
+                var p = new Pair;
+                p.a = 1;
+                var s = add(p.a, 2);
+                total = s;
+                var t = spawn add(1, 2);
+                join t;
+                try { throw Boom; } catch (*) { nop; }
+                while (total < 10) { total = total + 1; }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(validate(&program), vec![]);
+    }
+
+    #[test]
+    fn corrupted_jump_target_is_reported() {
+        let mut program = crate::compile("proc main() { if (true) { nop; } }").unwrap();
+        // Point the branch outside the program.
+        for instr in &mut program.instrs {
+            if let Instr::Branch { if_true, .. } = instr {
+                *if_true = InstrId(9999);
+            }
+        }
+        let errors = validate(&program);
+        assert!(
+            errors.iter().any(|error| error.message.contains("escapes")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn corrupted_local_slot_is_reported() {
+        let mut program = crate::compile("proc main() { var x = 1; }").unwrap();
+        for instr in &mut program.instrs {
+            if let Instr::Assign { dst, .. } = instr {
+                *dst = LocalId(999);
+            }
+        }
+        let errors = validate(&program);
+        assert!(
+            errors.iter().any(|error| error.message.contains("out of range")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn corrupted_arity_is_reported() {
+        let mut program =
+            crate::compile("proc callee(a) { } proc main() { callee(1); }").unwrap();
+        for instr in &mut program.instrs {
+            if let Instr::Call { args, .. } = instr {
+                args.clear();
+            }
+        }
+        let errors = validate(&program);
+        assert!(
+            errors.iter().any(|error| error.message.contains("argument")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn corrupted_global_is_reported() {
+        let mut program = crate::compile("global g; proc main() { g = 1; }").unwrap();
+        for instr in &mut program.instrs {
+            if let Instr::StoreGlobal { global, .. } = instr {
+                *global = GlobalId(42);
+            }
+        }
+        let errors = validate(&program);
+        assert!(!errors.is_empty());
+    }
+}

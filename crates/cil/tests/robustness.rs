@@ -1,0 +1,75 @@
+//! Robustness: the front end must never panic, whatever bytes it is fed —
+//! it returns a structured [`cil::Error`] instead.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary strings: compile returns Ok or Err, never panics.
+    #[test]
+    fn compile_never_panics_on_arbitrary_input(input in ".{0,200}") {
+        let _ = cil::compile(&input);
+    }
+
+    /// Arbitrary ASCII soup with CIL-ish tokens mixed in.
+    #[test]
+    fn compile_never_panics_on_tokeny_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("proc".to_string()),
+                Just("main".to_string()),
+                Just("()".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just(";".to_string()),
+                Just("var x = 1".to_string()),
+                Just("sync (x)".to_string()),
+                Just("@tag".to_string()),
+                Just("\"str".to_string()),
+                Just("/*".to_string()),
+                Just("== != && || < > <= >=".to_string()),
+                "[0-9]{1,30}",
+            ],
+            0..20,
+        )
+    ) {
+        let source = parts.join(" ");
+        let _ = cil::compile(&source);
+    }
+
+    /// Every reported error carries a sane span into the source.
+    #[test]
+    fn error_spans_stay_in_bounds(input in "[ -~]{0,120}") {
+        if let Err(error) = cil::compile(&input) {
+            prop_assert!(error.span.start as usize <= input.len());
+            prop_assert!(error.span.end as usize <= input.len() + 1);
+            prop_assert!(!error.message.is_empty());
+        }
+    }
+}
+
+#[test]
+fn deeply_nested_blocks_do_not_overflow() {
+    let mut source = String::from("proc main() { ");
+    for _ in 0..200 {
+        source.push_str("if (true) { ");
+    }
+    source.push_str("nop; ");
+    for _ in 0..200 {
+        source.push('}');
+    }
+    source.push('}');
+    // Either compiles or reports an error; must not crash the host.
+    let _ = cil::compile(&source);
+}
+
+#[test]
+fn deeply_nested_expressions_do_not_overflow() {
+    let mut expr = String::from("1");
+    for _ in 0..300 {
+        expr = format!("({expr} + 1)");
+    }
+    let source = format!("proc main() {{ var x = {expr}; }}");
+    let _ = cil::compile(&source);
+}

@@ -1,0 +1,386 @@
+//! Potential-deadlock prediction via the lock-order graph.
+//!
+//! The paper notes (§1) that the race-directed scheduler generalises to any
+//! concurrency problem for which an analysis can supply the set of
+//! problematic statements — naming potential deadlocks explicitly. This
+//! module supplies that analysis, in the style of the GoodLock algorithm
+//! family: observe one (or a few) executions, record every *nested* lock
+//! acquisition as an edge `outer → inner` annotated with the acquiring
+//! thread, the acquisition statements, and the **gate locks** held at the
+//! time; report cycles whose edges come from distinct threads and share no
+//! gate lock. Each reported [`DeadlockCandidate`] carries the *inner*
+//! acquisition statements — exactly the statement set to hand to the
+//! active scheduler (`racefuzzer::hunt_deadlocks`) for confirmation.
+
+use cil::flat::InstrId;
+use interp::{
+    run_with, Event, Limits, ObjId, Observer, RandomScheduler, RoundRobinScheduler, SetupError,
+    ThreadId,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// One observed nested acquisition: thread `thread` acquired `inner_lock`
+/// at `inner_site` while holding `outer_lock` (acquired at `outer_site`),
+/// with `gates` also held.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct LockEdge {
+    thread: ThreadId,
+    outer_lock: ObjId,
+    inner_lock: ObjId,
+    outer_site: InstrId,
+    inner_site: InstrId,
+    gates: BTreeSet<ObjId>,
+}
+
+/// A predicted deadlock: a cycle of nested acquisitions by distinct
+/// threads with no common gate lock.
+///
+/// `inner_sites` — the statements acquiring each cycle edge's inner lock —
+/// is the set to bias the active scheduler with.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DeadlockCandidate {
+    /// `(outer_site, inner_site)` per cycle edge, in cycle order.
+    pub edges: Vec<(InstrId, InstrId)>,
+}
+
+impl DeadlockCandidate {
+    /// The statements at which the active scheduler should postpone
+    /// threads: each edge's inner acquisition.
+    pub fn inner_sites(&self) -> BTreeSet<InstrId> {
+        self.edges.iter().map(|&(_, inner)| inner).collect()
+    }
+
+    /// Cycle length (2 = classic AB/BA inversion).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` if the candidate has no edges (never produced by detection).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Human-readable description with source positions.
+    pub fn describe(&self, program: &cil::Program) -> String {
+        let edges: Vec<String> = self
+            .edges
+            .iter()
+            .map(|&(outer, inner)| {
+                format!(
+                    "[hold {} then take {}]",
+                    cil::pretty::describe_instr(program, outer),
+                    cil::pretty::describe_instr(program, inner)
+                )
+            })
+            .collect();
+        edges.join(" ∧ ")
+    }
+}
+
+/// Observer that builds the lock-order graph of one execution.
+#[derive(Clone, Debug, Default)]
+pub struct LockGraph {
+    /// Per-thread stack of currently held locks with acquisition sites.
+    held: HashMap<ThreadId, Vec<(ObjId, InstrId)>>,
+    edges: Vec<LockEdge>,
+}
+
+impl LockGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct nested-acquisition edges observed.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finds cycles up to `max_len` edges whose edges are from pairwise
+    /// distinct threads, on pairwise distinct locks, with no lock common to
+    /// all gate sets — the GoodLock validity conditions.
+    pub fn candidates(&self, max_len: usize) -> Vec<DeadlockCandidate> {
+        // Adjacency by outer lock.
+        let mut by_outer: BTreeMap<ObjId, Vec<&LockEdge>> = BTreeMap::new();
+        for edge in &self.edges {
+            by_outer.entry(edge.outer_lock).or_default().push(edge);
+        }
+
+        let mut found: BTreeSet<DeadlockCandidate> = BTreeSet::new();
+        // DFS over lock nodes for simple cycles of length 2..=max_len.
+        for start in &self.edges {
+            let mut path = vec![start];
+            self.extend_cycle(start, &mut path, max_len, &by_outer, &mut found);
+        }
+        found.into_iter().collect()
+    }
+
+    fn extend_cycle<'g>(
+        &'g self,
+        start: &'g LockEdge,
+        path: &mut Vec<&'g LockEdge>,
+        max_len: usize,
+        by_outer: &BTreeMap<ObjId, Vec<&'g LockEdge>>,
+        found: &mut BTreeSet<DeadlockCandidate>,
+    ) {
+        let last = path.last().expect("path is never empty");
+        if path.len() >= 2 && last.inner_lock == start.outer_lock {
+            if Self::valid_cycle(path) {
+                // Canonicalise: rotate so the smallest inner site is first.
+                let mut edges: Vec<(InstrId, InstrId)> = path
+                    .iter()
+                    .map(|edge| (edge.outer_site, edge.inner_site))
+                    .collect();
+                let pivot = edges
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, edge)| *edge)
+                    .map(|(index, _)| index)
+                    .expect("cycle has edges");
+                edges.rotate_left(pivot);
+                found.insert(DeadlockCandidate { edges });
+            }
+            return;
+        }
+        if path.len() >= max_len {
+            return;
+        }
+        if let Some(nexts) = by_outer.get(&last.inner_lock) {
+            for next in nexts {
+                // Simple cycles only: no repeated locks or threads.
+                let repeats = path.iter().any(|edge| {
+                    edge.thread == next.thread
+                        || edge.outer_lock == next.outer_lock
+                        || edge.inner_lock == next.inner_lock && next.inner_lock != start.outer_lock
+                });
+                if repeats {
+                    continue;
+                }
+                path.push(next);
+                self.extend_cycle(start, path, max_len, by_outer, found);
+                path.pop();
+            }
+        }
+    }
+
+    /// GoodLock validity: distinct threads per edge and no gate lock common
+    /// to every edge (a common gate serialises the cycle).
+    fn valid_cycle(path: &[&LockEdge]) -> bool {
+        for (index, a) in path.iter().enumerate() {
+            for b in &path[index + 1..] {
+                if a.thread == b.thread {
+                    return false;
+                }
+                if a.gates.intersection(&b.gates).next().is_some() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Observer for LockGraph {
+    fn on_event(&mut self, event: &Event) {
+        match event {
+            Event::Acquire { thread, obj, instr } => {
+                let stack = self.held.entry(*thread).or_default();
+                for (index, &(outer, outer_site)) in stack.iter().enumerate() {
+                    let gates: BTreeSet<ObjId> = stack[..index]
+                        .iter()
+                        .chain(&stack[index + 1..])
+                        .map(|&(lock, _)| lock)
+                        .collect();
+                    let edge = LockEdge {
+                        thread: *thread,
+                        outer_lock: outer,
+                        inner_lock: *obj,
+                        outer_site,
+                        inner_site: *instr,
+                        gates,
+                    };
+                    if !self.edges.contains(&edge) {
+                        self.edges.push(edge);
+                    }
+                }
+                stack.push((*obj, *instr));
+            }
+            Event::Release { thread, obj, .. } => {
+                if let Some(stack) = self.held.get_mut(thread) {
+                    if let Some(index) = stack.iter().rposition(|&(lock, _)| lock == *obj) {
+                        stack.remove(index);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Runs the program under a few schedules and returns the union of
+/// predicted deadlock cycles (up to length `max_cycle`).
+///
+/// # Errors
+///
+/// Returns [`SetupError`] if `entry` does not name a zero-argument
+/// procedure.
+pub fn predict_deadlocks(
+    program: &cil::Program,
+    entry: &str,
+    observation_runs: u64,
+    max_cycle: usize,
+) -> Result<Vec<DeadlockCandidate>, SetupError> {
+    let mut all: BTreeSet<DeadlockCandidate> = BTreeSet::new();
+
+    let mut graph = LockGraph::new();
+    run_with(
+        program,
+        entry,
+        &mut RoundRobinScheduler::new(7),
+        &mut graph,
+        Limits::default(),
+    )?;
+    all.extend(graph.candidates(max_cycle));
+
+    for seed in 1..=observation_runs {
+        let mut graph = LockGraph::new();
+        run_with(
+            program,
+            entry,
+            &mut RandomScheduler::seeded(seed),
+            &mut graph,
+            Limits::default(),
+        )?;
+        all.extend(graph.candidates(max_cycle));
+    }
+
+    Ok(all.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acquire(thread: u32, obj: u32, instr: u32) -> Event {
+        Event::Acquire {
+            thread: ThreadId(thread),
+            obj: ObjId(obj),
+            instr: InstrId(instr),
+        }
+    }
+
+    fn release(thread: u32, obj: u32) -> Event {
+        Event::Release {
+            thread: ThreadId(thread),
+            obj: ObjId(obj),
+            instr: InstrId(0),
+        }
+    }
+
+    #[test]
+    fn two_cycle_is_detected() {
+        let mut graph = LockGraph::new();
+        // t0: lock A(1) then B(2); t1: lock B(3) then A(4).
+        for event in [
+            acquire(0, 10, 1),
+            acquire(0, 11, 2),
+            release(0, 11),
+            release(0, 10),
+            acquire(1, 11, 3),
+            acquire(1, 10, 4),
+            release(1, 10),
+            release(1, 11),
+        ] {
+            graph.on_event(&event);
+        }
+        let candidates = graph.candidates(2);
+        assert_eq!(candidates.len(), 1, "{candidates:?}");
+        assert_eq!(
+            candidates[0].inner_sites(),
+            [InstrId(2), InstrId(4)].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn same_thread_nesting_is_not_a_cycle() {
+        let mut graph = LockGraph::new();
+        for event in [
+            acquire(0, 10, 1),
+            acquire(0, 11, 2),
+            release(0, 11),
+            release(0, 10),
+            acquire(0, 11, 3),
+            acquire(0, 10, 4),
+            release(0, 10),
+            release(0, 11),
+        ] {
+            graph.on_event(&event);
+        }
+        assert!(graph.candidates(2).is_empty());
+    }
+
+    #[test]
+    fn common_gate_lock_suppresses_the_cycle() {
+        let mut graph = LockGraph::new();
+        // Both inversions occur while holding gate lock G(99).
+        for event in [
+            acquire(0, 99, 0),
+            acquire(0, 10, 1),
+            acquire(0, 11, 2),
+            release(0, 11),
+            release(0, 10),
+            release(0, 99),
+            acquire(1, 99, 0),
+            acquire(1, 11, 3),
+            acquire(1, 10, 4),
+            release(1, 10),
+            release(1, 11),
+            release(1, 99),
+        ] {
+            graph.on_event(&event);
+        }
+        // Edges 10→11 and 11→10 both have gate {99}: serialised, no report.
+        let candidates = graph.candidates(2);
+        assert!(
+            candidates.is_empty(),
+            "gate-protected inversion is safe: {candidates:?}"
+        );
+    }
+
+    #[test]
+    fn three_cycle_is_detected_with_max_len_three() {
+        let mut graph = LockGraph::new();
+        // t0: A→B, t1: B→C, t2: C→A.
+        for event in [
+            acquire(0, 10, 1),
+            acquire(0, 11, 2),
+            release(0, 11),
+            release(0, 10),
+            acquire(1, 11, 3),
+            acquire(1, 12, 4),
+            release(1, 12),
+            release(1, 11),
+            acquire(2, 12, 5),
+            acquire(2, 10, 6),
+            release(2, 10),
+            release(2, 12),
+        ] {
+            graph.on_event(&event);
+        }
+        assert!(graph.candidates(2).is_empty(), "no 2-cycle exists");
+        let candidates = graph.candidates(3);
+        assert_eq!(candidates.len(), 1, "{candidates:?}");
+        assert_eq!(candidates[0].len(), 3);
+    }
+
+    #[test]
+    fn reentrant_acquire_does_not_self_edge() {
+        let mut graph = LockGraph::new();
+        // Outermost acquires only reach the observer (the interpreter
+        // filters re-entries), but even A-under-A from different sites
+        // must not self-edge… simulate nested distinct locks only.
+        graph.on_event(&acquire(0, 10, 1));
+        graph.on_event(&release(0, 10));
+        assert_eq!(graph.edge_count(), 0);
+    }
+}

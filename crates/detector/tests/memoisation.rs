@@ -1,0 +1,88 @@
+//! The memoised engine must report exactly the same *statement pairs* as
+//! the naive full-history engine — the optimisation may only drop
+//! duplicate pairs, never distinct ones.
+
+use detector::{DetectorEngine, Policy};
+use interp::{run_with, Limits, RandomScheduler};
+use proptest::prelude::*;
+
+fn render_program(threads: &[Vec<(u8, bool, bool)>]) -> String {
+    use std::fmt::Write as _;
+    let mut source = String::from("class Lock { }\nglobal lk;\nglobal g0 = 0;\nglobal g1 = 0;\n");
+    for (t, ops) in threads.iter().enumerate() {
+        let _ = writeln!(source, "proc worker{t}() {{\n    var tmp = 0;");
+        for &(global, write, locked) in ops {
+            let global = global % 2;
+            let body = if write {
+                format!("g{global} = tmp + 1;")
+            } else {
+                format!("tmp = g{global};")
+            };
+            if locked {
+                let _ = writeln!(source, "    sync (lk) {{ {body} }}");
+            } else {
+                let _ = writeln!(source, "    {body}");
+            }
+        }
+        source.push_str("}\n");
+    }
+    source.push_str("proc main() {\n    lk = new Lock;\n");
+    for t in 0..threads.len() {
+        use std::fmt::Write as _;
+        let _ = writeln!(source, "    var t{t} = spawn worker{t}();");
+    }
+    for t in 0..threads.len() {
+        use std::fmt::Write as _;
+        let _ = writeln!(source, "    join t{t};");
+    }
+    source.push_str("}\n");
+    source
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn memoised_and_naive_engines_agree(
+        threads in proptest::collection::vec(
+            proptest::collection::vec(
+                (any::<u8>(), any::<bool>(), any::<bool>()),
+                1..8,
+            ),
+            1..4,
+        ),
+        seed in 0u64..500,
+    ) {
+        let source = render_program(&threads);
+        let program = cil::compile(&source).expect("generated source compiles");
+        for policy in [Policy::Hybrid, Policy::HappensBefore, Policy::Lockset] {
+            let mut memoised = DetectorEngine::new(policy);
+            run_with(
+                &program,
+                "main",
+                &mut RandomScheduler::seeded(seed),
+                &mut memoised,
+                Limits::default(),
+            )
+            .expect("run succeeds");
+            let mut naive = DetectorEngine::new_unoptimized(policy);
+            run_with(
+                &program,
+                "main",
+                &mut RandomScheduler::seeded(seed),
+                &mut naive,
+                Limits::default(),
+            )
+            .expect("run succeeds");
+            let memoised_races: Vec<_> = memoised.races().collect();
+            let naive_races: Vec<_> = naive.races().collect();
+            prop_assert_eq!(
+                memoised_races,
+                naive_races,
+                "{:?} on:\n{}",
+                policy,
+                source
+            );
+        }
+    }
+}

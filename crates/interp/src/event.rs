@@ -1,0 +1,215 @@
+//! Dynamic events and the observer hook.
+//!
+//! The interpreter reports the event kinds of the paper's §2.1 model:
+//! `MEM(s, m, a, t, L)` for shared accesses and `SND(g, t)`/`RCV(g, t)` for
+//! the synchronization edges (thread start, join, and notify→wait), plus
+//! lock acquire/release and exception bookkeeping that the detectors and
+//! reports use.
+
+use crate::value::{ObjId, ThreadId};
+use cil::flat::{GlobalId, InstrId, ProcId};
+use cil::Symbol;
+
+/// A dynamic shared-memory location — the `m` of a `MEM` event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Loc {
+    /// A global variable.
+    Global(GlobalId),
+    /// `object.field`
+    Field(ObjId, Symbol),
+    /// `array[index]`
+    Elem(ObjId, u32),
+}
+
+/// A shared access an instruction is *about to* perform (or just performed):
+/// the location plus whether it writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// The instruction performing the access.
+    pub instr: InstrId,
+    /// The dynamic memory location.
+    pub loc: Loc,
+    /// `true` for `WRITE`, `false` for `READ`.
+    pub is_write: bool,
+}
+
+impl Access {
+    /// The paper's race condition between two *simultaneous* accesses:
+    /// same location, at least one write. (Thread distinctness and
+    /// happens-before are checked by the caller.)
+    pub fn conflicts_with(&self, other: &Access) -> bool {
+        self.loc == other.loc && (self.is_write || other.is_write)
+    }
+}
+
+/// A unique message id pairing one `SND` with its `RCV`(s).
+pub type MsgId = u64;
+
+/// A dynamic event, delivered to [`Observer::on_event`] as it happens.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A shared memory access: `MEM(s, m, a, t, L)`.
+    Mem {
+        /// The executing thread (`t`).
+        thread: ThreadId,
+        /// The instruction (`s`).
+        instr: InstrId,
+        /// The location (`m`).
+        loc: Loc,
+        /// The access kind (`a`): write or read.
+        is_write: bool,
+        /// Locks held by `t` at the access (`L`), sorted.
+        locks: Vec<ObjId>,
+    },
+    /// A lock acquisition (outermost only, not re-entries).
+    Acquire {
+        /// The acquiring thread.
+        thread: ThreadId,
+        /// The lock object.
+        obj: ObjId,
+        /// The acquiring statement (a `Lock` or, on re-acquisition after a
+        /// notification, the `Wait` statement).
+        instr: InstrId,
+    },
+    /// A lock release (outermost only).
+    Release {
+        /// The releasing thread.
+        thread: ThreadId,
+        /// The lock object.
+        obj: ObjId,
+        /// The statement that caused the release (an `Unlock`, `Wait`,
+        /// `Return`, or the statement that threw during unwinding).
+        instr: InstrId,
+    },
+    /// `SND(g, t)` — thread start, thread termination (for `join`), or
+    /// `notify`.
+    Send {
+        /// The message id (`g`).
+        msg: MsgId,
+        /// The sending thread.
+        thread: ThreadId,
+    },
+    /// `RCV(g, t)` — thread begin, `join` completion, or `wait` resumption.
+    Recv {
+        /// The message id (`g`).
+        msg: MsgId,
+        /// The receiving thread.
+        thread: ThreadId,
+    },
+    /// A new thread was created by `spawn`.
+    ThreadSpawned {
+        /// The spawning thread.
+        parent: ThreadId,
+        /// The new thread.
+        child: ThreadId,
+        /// The child's entry procedure.
+        proc: ProcId,
+    },
+    /// A thread terminated (normally or by an uncaught exception).
+    ThreadExited {
+        /// The thread that exited.
+        thread: ThreadId,
+        /// The uncaught exception name, if it died exceptionally.
+        uncaught: Option<Symbol>,
+    },
+    /// An exception was thrown (before unwinding).
+    ExceptionThrown {
+        /// The throwing thread.
+        thread: ThreadId,
+        /// The exception name.
+        name: Symbol,
+        /// Where it was raised.
+        instr: InstrId,
+    },
+    /// An exception was caught by a handler.
+    ExceptionCaught {
+        /// The catching thread.
+        thread: ThreadId,
+        /// The exception name.
+        name: Symbol,
+    },
+}
+
+/// Receives dynamic events during execution.
+///
+/// The hybrid race detector (Phase 1) is an observer; RaceFuzzer itself
+/// (Phase 2) drives the execution API directly and needs no observer, which
+/// is the source of its low overhead relative to full tracing — the paper's
+/// Table 1 runtime columns.
+pub trait Observer {
+    /// Called once per event, in execution order.
+    fn on_event(&mut self, event: &Event);
+}
+
+/// An observer that discards everything (the "normal execution" baseline).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn on_event(&mut self, _event: &Event) {}
+}
+
+/// An observer that records every event (tests, trace debugging).
+#[derive(Clone, Debug, Default)]
+pub struct RecordingObserver {
+    /// The events seen so far.
+    pub events: Vec<Event>,
+}
+
+impl Observer for RecordingObserver {
+    fn on_event(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(loc: Loc, is_write: bool) -> Access {
+        Access {
+            instr: InstrId(0),
+            loc,
+            is_write,
+        }
+    }
+
+    #[test]
+    fn conflict_requires_same_location() {
+        let a = access(Loc::Global(GlobalId(0)), true);
+        let b = access(Loc::Global(GlobalId(1)), true);
+        assert!(!a.conflicts_with(&b));
+        assert!(a.conflicts_with(&access(Loc::Global(GlobalId(0)), false)));
+    }
+
+    #[test]
+    fn read_read_is_not_a_conflict() {
+        let a = access(Loc::Elem(ObjId(1), 0), false);
+        let b = access(Loc::Elem(ObjId(1), 0), false);
+        assert!(!a.conflicts_with(&b));
+        assert!(a.conflicts_with(&access(Loc::Elem(ObjId(1), 0), true)));
+    }
+
+    #[test]
+    fn field_locations_distinguish_objects_and_fields() {
+        let f = Symbol(0);
+        let g = Symbol(1);
+        assert_ne!(Loc::Field(ObjId(0), f), Loc::Field(ObjId(1), f));
+        assert_ne!(Loc::Field(ObjId(0), f), Loc::Field(ObjId(0), g));
+    }
+
+    #[test]
+    fn recording_observer_keeps_order() {
+        let mut observer = RecordingObserver::default();
+        observer.on_event(&Event::Send {
+            msg: 1,
+            thread: ThreadId(0),
+        });
+        observer.on_event(&Event::Recv {
+            msg: 1,
+            thread: ThreadId(1),
+        });
+        assert_eq!(observer.events.len(), 2);
+        assert!(matches!(observer.events[0], Event::Send { .. }));
+    }
+}

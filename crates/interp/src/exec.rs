@@ -1,0 +1,1136 @@
+//! The execution engine: the paper's abstract machine.
+//!
+//! [`Execution`] exposes exactly the interface the RaceFuzzer algorithms are
+//! written against (§2.1):
+//!
+//! * `Enabled(s)`   → [`Execution::enabled`] / [`Execution::is_enabled`]
+//! * `Alive(s)`     → [`Execution::alive`]
+//! * `NextStmt(s,t)`→ [`Execution::next_instr`] (and
+//!   [`Execution::next_access`], which also resolves the dynamic memory
+//!   location the statement would touch, *without side effects*)
+//! * `Execute(s,t)` → [`Execution::step`]
+//!
+//! Exactly one thread executes at a time, all scheduling choices are made by
+//! the caller, and all internal tie-breaking (wait-set order, allocation
+//! order) is deterministic — so a schedule is a pure function of the
+//! caller's choices, which is what makes seed-only replay possible.
+
+use crate::event::{Access, Event, Loc, MsgId, Observer};
+use crate::heap::{Heap, HeapCell};
+use crate::locks::LockTable;
+use crate::thread::{Frame, Protection, Status, ThreadState, UncaughtException};
+use crate::value::{ObjId, ThreadId, Value};
+use cil::ast::{BinOp, UnOp};
+use cil::flat::{Instr, InstrId, LocalId, ProcId, PureExpr};
+use cil::{Program, Symbol};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Error constructing an [`Execution`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SetupError {
+    /// The requested entry procedure does not exist.
+    NoSuchProc(String),
+    /// The entry procedure takes parameters.
+    EntryHasParams(String, usize),
+}
+
+impl fmt::Display for SetupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetupError::NoSuchProc(name) => write!(f, "no procedure named `{name}`"),
+            SetupError::EntryHasParams(name, count) => {
+                write!(f, "entry procedure `{name}` takes {count} parameter(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SetupError {}
+
+/// The result of executing one statement of one thread.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StepResult {
+    /// The thread executed a statement and is still alive.
+    Ran,
+    /// The thread finished its last frame normally.
+    Exited,
+    /// An exception escaped the thread's last frame; the thread is dead.
+    Uncaught(UncaughtException),
+    /// The chosen thread was not enabled; nothing happened.
+    NotEnabled,
+}
+
+/// An exception in flight during one step.
+#[derive(Clone, Debug)]
+struct Thrown {
+    name: Symbol,
+    message: Option<Rc<str>>,
+    at: InstrId,
+}
+
+/// A running (or finished) program state.
+pub struct Execution<'p> {
+    program: &'p Program,
+    heap: Heap,
+    globals: Vec<Value>,
+    threads: Vec<ThreadState>,
+    locks: LockTable,
+    msg_counter: MsgId,
+    termination_msg: HashMap<ThreadId, MsgId>,
+    steps: u64,
+    output: Vec<String>,
+    uncaught: Vec<UncaughtException>,
+}
+
+impl<'p> Execution<'p> {
+    /// Creates an execution with a single thread at `entry` (a zero-argument
+    /// procedure, conventionally `main`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetupError`] if `entry` is missing or takes parameters.
+    pub fn new(program: &'p Program, entry: &str) -> Result<Self, SetupError> {
+        let proc = program
+            .proc_named(entry)
+            .ok_or_else(|| SetupError::NoSuchProc(entry.to_owned()))?;
+        let info = &program.procs[proc.index()];
+        if info.param_count != 0 {
+            return Err(SetupError::EntryHasParams(
+                entry.to_owned(),
+                info.param_count,
+            ));
+        }
+        let globals = program
+            .globals
+            .iter()
+            .map(|global| Value::from(&global.init))
+            .collect();
+        let main = ThreadState::new(
+            ThreadId(0),
+            proc,
+            info.entry,
+            vec![Value::Null; info.local_count()],
+        );
+        Ok(Execution {
+            program,
+            heap: Heap::new(),
+            globals,
+            threads: vec![main],
+            locks: LockTable::new(),
+            msg_counter: 0,
+            termination_msg: HashMap::new(),
+            steps: 0,
+            output: Vec::new(),
+            uncaught: Vec::new(),
+        })
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Total statements executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Text produced by `print` statements.
+    pub fn output(&self) -> &[String] {
+        &self.output
+    }
+
+    /// Exceptions that killed threads, in occurrence order.
+    pub fn uncaught(&self) -> &[UncaughtException] {
+        &self.uncaught
+    }
+
+    /// Number of threads ever created.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The status of a thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` was never created.
+    pub fn status(&self, thread: ThreadId) -> &Status {
+        &self.threads[thread.index()].status
+    }
+
+    /// Whether `thread` holds the interrupt flag.
+    pub fn is_interrupted(&self, thread: ThreadId) -> bool {
+        self.threads[thread.index()].interrupted
+    }
+
+    /// The current value of global `name` (for tests and harnesses).
+    pub fn global_value(&self, name: &str) -> Option<&Value> {
+        let id = self.program.global_named(name)?;
+        self.globals.get(id.index())
+    }
+
+    /// `Alive(s)`: threads that have not terminated.
+    pub fn alive(&self) -> Vec<ThreadId> {
+        self.threads
+            .iter()
+            .filter(|thread| thread.is_alive())
+            .map(|thread| thread.id)
+            .collect()
+    }
+
+    /// `Enabled(s)`: alive threads whose next statement can execute now.
+    pub fn enabled(&self) -> Vec<ThreadId> {
+        self.threads
+            .iter()
+            .filter(|thread| self.is_enabled(thread.id))
+            .map(|thread| thread.id)
+            .collect()
+    }
+
+    /// Whether a single thread is enabled.
+    pub fn is_enabled(&self, thread: ThreadId) -> bool {
+        let Some(state) = self.threads.get(thread.index()) else {
+            return false;
+        };
+        match &state.status {
+            Status::Exited | Status::Waiting { .. } => false,
+            Status::Reacquire { obj, .. } => self.locks.owner(*obj).is_none(),
+            Status::Runnable => match self.program.instr(state.frame().pc) {
+                Instr::Lock { obj, .. } => match state.frame().locals[obj.index()] {
+                    Value::Ref(target) => self.locks.available_to(target, thread),
+                    // A null/ill-typed lock target throws immediately, so the
+                    // statement *can* execute.
+                    _ => true,
+                },
+                Instr::Join { thread: handle } => {
+                    match state.frame().locals[handle.index()] {
+                        Value::Thread(target) => {
+                            state.interrupted || !self.threads[target.index()].is_alive()
+                        }
+                        _ => true, // throws TypeError
+                    }
+                }
+                _ => true,
+            },
+        }
+    }
+
+    /// `true` when no thread is enabled but some are alive — the paper's
+    /// deadlock condition (Algorithm 1, line 30).
+    pub fn is_deadlocked(&self) -> bool {
+        self.enabled().is_empty() && !self.alive().is_empty()
+    }
+
+    /// `NextStmt(s, t)`: the instruction `t` would execute next, when `t` is
+    /// runnable.
+    pub fn next_instr(&self, thread: ThreadId) -> Option<InstrId> {
+        let state = self.threads.get(thread.index())?;
+        match state.status {
+            Status::Runnable => Some(state.frame().pc),
+            _ => None,
+        }
+    }
+
+    /// Resolves the shared access `t`'s next statement would perform, with
+    /// **no side effects** — the primitive for Algorithm 2's `Racing` check.
+    ///
+    /// Returns `None` if the next statement is not a memory access or if its
+    /// address resolution would fault (the statement would throw instead of
+    /// accessing memory).
+    pub fn next_access(&self, thread: ThreadId) -> Option<Access> {
+        let state = self.threads.get(thread.index())?;
+        if state.status != Status::Runnable {
+            return None;
+        }
+        let pc = state.frame().pc;
+        let locals = &state.frame().locals;
+        let access = |loc, is_write| Some(Access { instr: pc, loc, is_write });
+        match self.program.instr(pc) {
+            Instr::LoadGlobal { global, .. } => access(Loc::Global(*global), false),
+            Instr::StoreGlobal { global, .. } => access(Loc::Global(*global), true),
+            Instr::LoadField { obj, field, .. } => {
+                let target = self.field_target(locals, *obj, *field)?;
+                access(Loc::Field(target, *field), false)
+            }
+            Instr::StoreField { obj, field, .. } => {
+                let target = self.field_target(locals, *obj, *field)?;
+                access(Loc::Field(target, *field), true)
+            }
+            Instr::LoadElem { arr, idx, .. } => {
+                let (target, index) = self.elem_target(state, locals, *arr, idx)?;
+                access(Loc::Elem(target, index), false)
+            }
+            Instr::StoreElem { arr, idx, .. } => {
+                let (target, index) = self.elem_target(state, locals, *arr, idx)?;
+                access(Loc::Elem(target, index), true)
+            }
+            _ => None,
+        }
+    }
+
+    fn field_target(&self, locals: &[Value], obj: LocalId, field: Symbol) -> Option<ObjId> {
+        match locals[obj.index()] {
+            Value::Ref(target) => match self.heap.cell(target) {
+                HeapCell::Object { class, .. } => {
+                    self.program.classes[class.index()].field_slot(field)?;
+                    Some(target)
+                }
+                HeapCell::Array { .. } => None,
+            },
+            _ => None,
+        }
+    }
+
+    fn elem_target(
+        &self,
+        state: &ThreadState,
+        locals: &[Value],
+        arr: LocalId,
+        idx: &PureExpr,
+    ) -> Option<(ObjId, u32)> {
+        let Value::Ref(target) = locals[arr.index()] else {
+            return None;
+        };
+        let len = self.heap.array_len(target)?;
+        let Ok(Value::Int(index)) = self.eval_in(state, idx, InstrId(0)) else {
+            return None;
+        };
+        if index < 0 || index as usize >= len {
+            return None;
+        }
+        Some((target, index as u32))
+    }
+
+    /// `Execute(s, t)`: runs exactly one statement of `thread`.
+    ///
+    /// Returns [`StepResult::NotEnabled`] (and changes nothing) if `thread`
+    /// is not currently enabled, so schedulers can be written defensively.
+    pub fn step(&mut self, thread: ThreadId, observer: &mut dyn Observer) -> StepResult {
+        if !self.is_enabled(thread) {
+            return StepResult::NotEnabled;
+        }
+        self.steps += 1;
+
+        // Completing a `wait`: reacquire the monitor, then resume or throw.
+        if let Status::Reacquire {
+            obj,
+            depth,
+            interrupted,
+            recv_msg,
+        } = self.threads[thread.index()].status.clone()
+        {
+            let pc = self.threads[thread.index()].frame().pc;
+            self.locks.acquire(obj, thread);
+            self.threads[thread.index()].push_hold(obj, depth);
+            observer.on_event(&Event::Acquire {
+                thread,
+                obj,
+                instr: pc,
+            });
+            if let Some(msg) = recv_msg {
+                observer.on_event(&Event::Recv { msg, thread });
+            }
+            self.threads[thread.index()].status = Status::Runnable;
+            if interrupted || self.threads[thread.index()].interrupted {
+                self.threads[thread.index()].interrupted = false;
+                let thrown = Thrown {
+                    name: self.program.builtins.interrupted,
+                    message: None,
+                    at: pc,
+                };
+                return self.unwind(thread, thrown, observer);
+            }
+            self.threads[thread.index()].frame_mut().pc = InstrId(pc.0 + 1);
+            return StepResult::Ran;
+        }
+
+        let pc = self.threads[thread.index()].frame().pc;
+        match self.exec_instr(thread, pc, observer) {
+            Ok(exited) => {
+                if exited {
+                    StepResult::Exited
+                } else {
+                    StepResult::Ran
+                }
+            }
+            Err(thrown) => self.unwind(thread, thrown, observer),
+        }
+    }
+
+    fn next_msg(&mut self) -> MsgId {
+        self.msg_counter += 1;
+        self.msg_counter
+    }
+
+    fn throw(&self, name: Symbol, message: impl Into<String>, at: InstrId) -> Thrown {
+        Thrown {
+            name,
+            message: Some(Rc::from(message.into().as_str())),
+            at,
+        }
+    }
+
+    fn local(&self, thread: ThreadId, slot: LocalId) -> Value {
+        self.threads[thread.index()].frame().locals[slot.index()].clone()
+    }
+
+    fn set_local(&mut self, thread: ThreadId, slot: LocalId, value: Value) {
+        self.threads[thread.index()].frame_mut().locals[slot.index()] = value;
+    }
+
+    fn advance(&mut self, thread: ThreadId) {
+        let frame = self.threads[thread.index()].frame_mut();
+        frame.pc = InstrId(frame.pc.0 + 1);
+    }
+
+    /// Evaluates a pure expression against a thread's current frame.
+    fn eval(&self, thread: ThreadId, expr: &PureExpr, at: InstrId) -> Result<Value, Thrown> {
+        self.eval_in(&self.threads[thread.index()], expr, at)
+    }
+
+    fn eval_in(
+        &self,
+        state: &ThreadState,
+        expr: &PureExpr,
+        at: InstrId,
+    ) -> Result<Value, Thrown> {
+        let builtins = &self.program.builtins;
+        match expr {
+            PureExpr::Const(constant) => Ok(Value::from(constant)),
+            PureExpr::Local(slot) => Ok(state.frame().locals[slot.index()].clone()),
+            PureExpr::Unary { op, operand } => {
+                let value = self.eval_in(state, operand, at)?;
+                match (op, value) {
+                    (UnOp::Neg, Value::Int(n)) => Ok(Value::Int(n.wrapping_neg())),
+                    (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+                    (op, value) => Err(self.throw(
+                        builtins.type_error,
+                        format!("cannot apply `{op}` to {}", value.type_name()),
+                        at,
+                    )),
+                }
+            }
+            PureExpr::Binary { op, lhs, rhs } => {
+                let left = self.eval_in(state, lhs, at)?;
+                let right = self.eval_in(state, rhs, at)?;
+                self.eval_binop(*op, left, right, at)
+            }
+            PureExpr::Len(inner) => match self.eval_in(state, inner, at)? {
+                Value::Ref(obj) => match self.heap.array_len(obj) {
+                    Some(len) => Ok(Value::Int(len as i64)),
+                    None => Err(self.throw(builtins.type_error, "len() of a non-array", at)),
+                },
+                Value::Null => Err(self.throw(builtins.null_pointer, "len() of null", at)),
+                other => Err(self.throw(
+                    builtins.type_error,
+                    format!("len() of {}", other.type_name()),
+                    at,
+                )),
+            },
+        }
+    }
+
+    fn eval_binop(
+        &self,
+        op: BinOp,
+        left: Value,
+        right: Value,
+        at: InstrId,
+    ) -> Result<Value, Thrown> {
+        let builtins = &self.program.builtins;
+        let type_error = |this: &Self| {
+            Err(this.throw(
+                builtins.type_error,
+                format!(
+                    "cannot apply `{op}` to {} and {}",
+                    left.type_name(),
+                    right.type_name()
+                ),
+                at,
+            ))
+        };
+        match op {
+            BinOp::Eq => return Ok(Value::Bool(left.loose_eq(&right))),
+            BinOp::Ne => return Ok(Value::Bool(!left.loose_eq(&right))),
+            _ => {}
+        }
+        match (op, &left, &right) {
+            (BinOp::Add, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_add(*b))),
+            (BinOp::Sub, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_sub(*b))),
+            (BinOp::Mul, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_mul(*b))),
+            (BinOp::Div, Value::Int(a), Value::Int(b)) => {
+                if *b == 0 {
+                    Err(self.throw(builtins.arithmetic, "division by zero", at))
+                } else {
+                    Ok(Value::Int(a.wrapping_div(*b)))
+                }
+            }
+            (BinOp::Rem, Value::Int(a), Value::Int(b)) => {
+                if *b == 0 {
+                    Err(self.throw(builtins.arithmetic, "remainder by zero", at))
+                } else {
+                    Ok(Value::Int(a.wrapping_rem(*b)))
+                }
+            }
+            (BinOp::Lt, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a < b)),
+            (BinOp::Le, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a <= b)),
+            (BinOp::Gt, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a > b)),
+            (BinOp::Ge, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a >= b)),
+            (BinOp::And, Value::Bool(a), Value::Bool(b)) => Ok(Value::Bool(*a && *b)),
+            (BinOp::Or, Value::Bool(a), Value::Bool(b)) => Ok(Value::Bool(*a || *b)),
+            _ => type_error(self),
+        }
+    }
+
+    fn as_bool(&self, value: Value, at: InstrId) -> Result<bool, Thrown> {
+        match value {
+            Value::Bool(b) => Ok(b),
+            other => Err(self.throw(
+                self.program.builtins.type_error,
+                format!("expected bool, got {}", other.type_name()),
+                at,
+            )),
+        }
+    }
+
+    fn as_ref(&self, value: Value, what: &str, at: InstrId) -> Result<ObjId, Thrown> {
+        match value {
+            Value::Ref(obj) => Ok(obj),
+            Value::Null => Err(self.throw(
+                self.program.builtins.null_pointer,
+                format!("{what} is null"),
+                at,
+            )),
+            other => Err(self.throw(
+                self.program.builtins.type_error,
+                format!("{what} is {}, expected ref", other.type_name()),
+                at,
+            )),
+        }
+    }
+
+    fn emit_mem(
+        &self,
+        observer: &mut dyn Observer,
+        thread: ThreadId,
+        instr: InstrId,
+        loc: Loc,
+        is_write: bool,
+    ) {
+        observer.on_event(&Event::Mem {
+            thread,
+            instr,
+            loc,
+            is_write,
+            locks: self.threads[thread.index()].lockset(),
+        });
+    }
+
+    /// Executes the instruction at `pc`. `Ok(true)` means the thread exited
+    /// normally during this step.
+    fn exec_instr(
+        &mut self,
+        thread: ThreadId,
+        pc: InstrId,
+        observer: &mut dyn Observer,
+    ) -> Result<bool, Thrown> {
+        let builtins = self.program.builtins;
+        // Clone is cheap relative to interpretation and sidesteps borrow
+        // conflicts between the instruction (borrowed from the program) and
+        // mutable machine state.
+        let instr = self.program.instr(pc).clone();
+        match instr {
+            Instr::Assign { dst, expr } => {
+                let value = self.eval(thread, &expr, pc)?;
+                self.set_local(thread, dst, value);
+                self.advance(thread);
+            }
+            Instr::LoadGlobal { dst, global } => {
+                let value = self.globals[global.index()].clone();
+                self.emit_mem(observer, thread, pc, Loc::Global(global), false);
+                self.set_local(thread, dst, value);
+                self.advance(thread);
+            }
+            Instr::StoreGlobal { global, src } => {
+                let value = self.eval(thread, &src, pc)?;
+                self.emit_mem(observer, thread, pc, Loc::Global(global), true);
+                self.globals[global.index()] = value;
+                self.advance(thread);
+            }
+            Instr::LoadField { dst, obj, field } => {
+                let target = self.as_ref(self.local(thread, obj), "field receiver", pc)?;
+                let slot = self.field_slot(target, field, pc)?;
+                self.emit_mem(observer, thread, pc, Loc::Field(target, field), false);
+                let value = match self.heap.cell(target) {
+                    HeapCell::Object { fields, .. } => fields[slot].clone(),
+                    HeapCell::Array { .. } => unreachable!("field_slot checked object"),
+                };
+                self.set_local(thread, dst, value);
+                self.advance(thread);
+            }
+            Instr::StoreField { obj, field, src } => {
+                let target = self.as_ref(self.local(thread, obj), "field receiver", pc)?;
+                let slot = self.field_slot(target, field, pc)?;
+                let value = self.eval(thread, &src, pc)?;
+                self.emit_mem(observer, thread, pc, Loc::Field(target, field), true);
+                match self.heap.cell_mut(target) {
+                    HeapCell::Object { fields, .. } => fields[slot] = value,
+                    HeapCell::Array { .. } => unreachable!("field_slot checked object"),
+                }
+                self.advance(thread);
+            }
+            Instr::LoadElem { dst, arr, idx } => {
+                let (target, index) = self.resolve_elem(thread, arr, &idx, pc)?;
+                self.emit_mem(observer, thread, pc, Loc::Elem(target, index), false);
+                let value = match self.heap.cell(target) {
+                    HeapCell::Array { elems } => elems[index as usize].clone(),
+                    HeapCell::Object { .. } => unreachable!("resolve_elem checked array"),
+                };
+                self.set_local(thread, dst, value);
+                self.advance(thread);
+            }
+            Instr::StoreElem { arr, idx, src } => {
+                let (target, index) = self.resolve_elem(thread, arr, &idx, pc)?;
+                let value = self.eval(thread, &src, pc)?;
+                self.emit_mem(observer, thread, pc, Loc::Elem(target, index), true);
+                match self.heap.cell_mut(target) {
+                    HeapCell::Array { elems } => elems[index as usize] = value,
+                    HeapCell::Object { .. } => unreachable!("resolve_elem checked array"),
+                }
+                self.advance(thread);
+            }
+            Instr::New { dst, class } => {
+                let field_count = self.program.classes[class.index()].fields.len();
+                let obj = self.heap.alloc_object(class, field_count);
+                self.set_local(thread, dst, Value::Ref(obj));
+                self.advance(thread);
+            }
+            Instr::NewArray { dst, len } => {
+                let len = match self.eval(thread, &len, pc)? {
+                    Value::Int(n) if n >= 0 => n as usize,
+                    Value::Int(n) => {
+                        return Err(self.throw(
+                            builtins.index_out_of_bounds,
+                            format!("negative array size {n}"),
+                            pc,
+                        ));
+                    }
+                    other => {
+                        return Err(self.throw(
+                            builtins.type_error,
+                            format!("array size is {}", other.type_name()),
+                            pc,
+                        ));
+                    }
+                };
+                let obj = self.heap.alloc_array(len);
+                self.set_local(thread, dst, Value::Ref(obj));
+                self.advance(thread);
+            }
+            Instr::Lock { obj, monitor } => {
+                let target = self.as_ref(self.local(thread, obj), "lock target", pc)?;
+                debug_assert!(self.locks.available_to(target, thread));
+                let outermost = self.threads[thread.index()].push_hold(target, 1);
+                if outermost {
+                    self.locks.acquire(target, thread);
+                    observer.on_event(&Event::Acquire {
+                        thread,
+                        obj: target,
+                        instr: pc,
+                    });
+                }
+                if monitor {
+                    self.threads[thread.index()]
+                        .frame_mut()
+                        .protections
+                        .push(Protection::Monitor { obj: target });
+                }
+                self.advance(thread);
+            }
+            Instr::Unlock { obj, monitor } => {
+                let target = self.as_ref(self.local(thread, obj), "unlock target", pc)?;
+                if self.threads[thread.index()].hold_depth(target) == 0 {
+                    return Err(self.throw(
+                        builtins.illegal_monitor_state,
+                        "unlock of a monitor not held",
+                        pc,
+                    ));
+                }
+                if monitor {
+                    // Pop the matching structured-monitor protection entry.
+                    let protections =
+                        &mut self.threads[thread.index()].frame_mut().protections;
+                    if let Some(index) = protections.iter().rposition(
+                        |entry| matches!(entry, Protection::Monitor { obj } if *obj == target),
+                    ) {
+                        protections.remove(index);
+                    }
+                }
+                self.release_one(thread, target, pc, observer);
+                self.advance(thread);
+            }
+            Instr::Wait { obj } => {
+                let target = self.as_ref(self.local(thread, obj), "wait target", pc)?;
+                let depth = self.threads[thread.index()].hold_depth(target);
+                if depth == 0 {
+                    return Err(self.throw(
+                        builtins.illegal_monitor_state,
+                        "wait without holding the monitor",
+                        pc,
+                    ));
+                }
+                if self.threads[thread.index()].interrupted {
+                    // Java: wait() checks the interrupt flag on entry and
+                    // throws while still holding the monitor.
+                    self.threads[thread.index()].interrupted = false;
+                    return Err(Thrown {
+                        name: builtins.interrupted,
+                        message: None,
+                        at: pc,
+                    });
+                }
+                // Release all re-entries, remember the depth, and block.
+                let fully = self.threads[thread.index()].pop_hold(target, depth);
+                debug_assert!(fully);
+                self.locks.release(target, thread);
+                observer.on_event(&Event::Release {
+                    thread,
+                    obj: target,
+                    instr: pc,
+                });
+                self.locks.add_waiter(target, thread);
+                self.threads[thread.index()].status = Status::Waiting { obj: target, depth };
+                // pc stays at the wait; it advances when the wait completes.
+            }
+            Instr::Notify { obj } => {
+                let target = self.as_ref(self.local(thread, obj), "notify target", pc)?;
+                if self.threads[thread.index()].hold_depth(target) == 0 {
+                    return Err(self.throw(
+                        builtins.illegal_monitor_state,
+                        "notify without holding the monitor",
+                        pc,
+                    ));
+                }
+                if let Some(waiter) = self.locks.pop_waiter(target) {
+                    self.signal_waiter(thread, waiter, observer);
+                }
+                self.advance(thread);
+            }
+            Instr::NotifyAll { obj } => {
+                let target = self.as_ref(self.local(thread, obj), "notifyall target", pc)?;
+                if self.threads[thread.index()].hold_depth(target) == 0 {
+                    return Err(self.throw(
+                        builtins.illegal_monitor_state,
+                        "notifyall without holding the monitor",
+                        pc,
+                    ));
+                }
+                for waiter in self.locks.drain_waiters(target) {
+                    self.signal_waiter(thread, waiter, observer);
+                }
+                self.advance(thread);
+            }
+            Instr::Spawn { dst, proc, args } => {
+                let mut values = Vec::with_capacity(args.len());
+                for arg in &args {
+                    values.push(self.eval(thread, arg, pc)?);
+                }
+                let child = self.spawn_thread(proc, values);
+                observer.on_event(&Event::ThreadSpawned {
+                    parent: thread,
+                    child,
+                    proc,
+                });
+                let msg = self.next_msg();
+                observer.on_event(&Event::Send { msg, thread });
+                observer.on_event(&Event::Recv { msg, thread: child });
+                if let Some(dst) = dst {
+                    self.set_local(thread, dst, Value::Thread(child));
+                }
+                self.advance(thread);
+            }
+            Instr::Join { thread: handle } => {
+                let target = match self.local(thread, handle) {
+                    Value::Thread(target) => target,
+                    Value::Null => {
+                        return Err(self.throw(builtins.null_pointer, "join of null", pc));
+                    }
+                    other => {
+                        return Err(self.throw(
+                            builtins.type_error,
+                            format!("join of {}", other.type_name()),
+                            pc,
+                        ));
+                    }
+                };
+                if self.threads[thread.index()].interrupted {
+                    self.threads[thread.index()].interrupted = false;
+                    return Err(Thrown {
+                        name: builtins.interrupted,
+                        message: None,
+                        at: pc,
+                    });
+                }
+                debug_assert!(!self.threads[target.index()].is_alive());
+                let msg = self.termination_msg[&target];
+                observer.on_event(&Event::Recv { msg, thread });
+                self.advance(thread);
+            }
+            Instr::Interrupt { thread: handle } => {
+                let target = match self.local(thread, handle) {
+                    Value::Thread(target) => target,
+                    Value::Null => {
+                        return Err(self.throw(builtins.null_pointer, "interrupt of null", pc));
+                    }
+                    other => {
+                        return Err(self.throw(
+                            builtins.type_error,
+                            format!("interrupt of {}", other.type_name()),
+                            pc,
+                        ));
+                    }
+                };
+                self.deliver_interrupt(target);
+                self.advance(thread);
+            }
+            Instr::Sleep { duration } => {
+                match self.eval(thread, &duration, pc)? {
+                    Value::Int(_) => {}
+                    other => {
+                        return Err(self.throw(
+                            builtins.type_error,
+                            format!("sleep duration is {}", other.type_name()),
+                            pc,
+                        ));
+                    }
+                }
+                if self.threads[thread.index()].interrupted {
+                    self.threads[thread.index()].interrupted = false;
+                    return Err(Thrown {
+                        name: builtins.interrupted,
+                        message: None,
+                        at: pc,
+                    });
+                }
+                self.advance(thread);
+            }
+            Instr::Call { dst, proc, args } => {
+                let mut values = Vec::with_capacity(args.len());
+                for arg in &args {
+                    values.push(self.eval(thread, arg, pc)?);
+                }
+                let info = &self.program.procs[proc.index()];
+                let mut locals = vec![Value::Null; info.local_count()];
+                locals[..values.len()].clone_from_slice(&values);
+                // Return resumes *after* the call.
+                self.advance(thread);
+                self.threads[thread.index()].frames.push(Frame {
+                    proc,
+                    pc: info.entry,
+                    locals,
+                    ret_dst: dst,
+                    protections: Vec::new(),
+                });
+            }
+            Instr::Return { value } => {
+                let result = match value {
+                    Some(expr) => self.eval(thread, &expr, pc)?,
+                    None => Value::Null,
+                };
+                // Release structured monitors opened in this frame.
+                while let Some(protection) =
+                    self.threads[thread.index()].frame_mut().protections.pop()
+                {
+                    if let Protection::Monitor { obj } = protection {
+                        self.release_one(thread, obj, pc, observer);
+                    }
+                }
+                let finished = self.threads[thread.index()]
+                    .frames
+                    .pop()
+                    .expect("return pops a frame");
+                if self.threads[thread.index()].frames.is_empty() {
+                    self.finish_thread(thread, None, observer);
+                    return Ok(true);
+                }
+                if let Some(dst) = finished.ret_dst {
+                    self.set_local(thread, dst, result);
+                }
+            }
+            Instr::Jump { target } => {
+                self.threads[thread.index()].frame_mut().pc = target;
+            }
+            Instr::Branch {
+                cond,
+                if_true,
+                if_false,
+            } => {
+                let value = self.eval(thread, &cond, pc)?;
+                let taken = self.as_bool(value, pc)?;
+                self.threads[thread.index()].frame_mut().pc =
+                    if taken { if_true } else { if_false };
+            }
+            Instr::Assert { cond, message } => {
+                let value = self.eval(thread, &cond, pc)?;
+                if !self.as_bool(value, pc)? {
+                    return Err(Thrown {
+                        name: builtins.assertion,
+                        message: Some(message),
+                        at: pc,
+                    });
+                }
+                self.advance(thread);
+            }
+            Instr::Throw { exception, message } => {
+                return Err(Thrown {
+                    name: exception,
+                    message,
+                    at: pc,
+                });
+            }
+            Instr::EnterTry { handler, catches } => {
+                self.threads[thread.index()]
+                    .frame_mut()
+                    .protections
+                    .push(Protection::Catch { handler, catches });
+                self.advance(thread);
+            }
+            Instr::ExitTry => {
+                let popped = self.threads[thread.index()].frame_mut().protections.pop();
+                debug_assert!(
+                    matches!(popped, Some(Protection::Catch { .. })),
+                    "ExitTry must pop a Catch protection"
+                );
+                self.advance(thread);
+            }
+            Instr::Print { value } => {
+                let text = match value {
+                    Some(expr) => self.eval(thread, &expr, pc)?.to_string(),
+                    None => String::new(),
+                };
+                self.output.push(text);
+                self.advance(thread);
+            }
+            Instr::Nop => {
+                self.advance(thread);
+            }
+        }
+        Ok(false)
+    }
+
+    fn field_slot(&self, target: ObjId, field: Symbol, pc: InstrId) -> Result<usize, Thrown> {
+        match self.heap.cell(target) {
+            HeapCell::Object { class, .. } => self.program.classes[class.index()]
+                .field_slot(field)
+                .ok_or_else(|| {
+                    self.throw(
+                        self.program.builtins.type_error,
+                        format!(
+                            "class `{}` has no field `{}`",
+                            self.program.name(self.program.classes[class.index()].name),
+                            self.program.name(field)
+                        ),
+                        pc,
+                    )
+                }),
+            HeapCell::Array { .. } => Err(self.throw(
+                self.program.builtins.type_error,
+                "field access on an array",
+                pc,
+            )),
+        }
+    }
+
+    fn resolve_elem(
+        &self,
+        thread: ThreadId,
+        arr: LocalId,
+        idx: &PureExpr,
+        pc: InstrId,
+    ) -> Result<(ObjId, u32), Thrown> {
+        let target = self.as_ref(self.local(thread, arr), "array", pc)?;
+        let Some(len) = self.heap.array_len(target) else {
+            return Err(self.throw(
+                self.program.builtins.type_error,
+                "indexing a non-array",
+                pc,
+            ));
+        };
+        let index = match self.eval(thread, idx, pc)? {
+            Value::Int(index) => index,
+            other => {
+                return Err(self.throw(
+                    self.program.builtins.type_error,
+                    format!("array index is {}", other.type_name()),
+                    pc,
+                ));
+            }
+        };
+        if index < 0 || index as usize >= len {
+            return Err(self.throw(
+                self.program.builtins.index_out_of_bounds,
+                format!("index {index} out of bounds for length {len}"),
+                pc,
+            ));
+        }
+        Ok((target, index as u32))
+    }
+
+    /// Releases one re-entry level of `obj`; emits `Release` when fully
+    /// released.
+    fn release_one(
+        &mut self,
+        thread: ThreadId,
+        obj: ObjId,
+        at: InstrId,
+        observer: &mut dyn Observer,
+    ) {
+        let fully = self.threads[thread.index()].pop_hold(obj, 1);
+        if fully {
+            self.locks.release(obj, thread);
+            observer.on_event(&Event::Release {
+                thread,
+                obj,
+                instr: at,
+            });
+        }
+    }
+
+    /// Moves a waiter to the reacquire state, pairing the notifier's `SND`.
+    fn signal_waiter(
+        &mut self,
+        notifier: ThreadId,
+        waiter: ThreadId,
+        observer: &mut dyn Observer,
+    ) {
+        let Status::Waiting { obj, depth } = self.threads[waiter.index()].status else {
+            panic!("signalled thread was not waiting");
+        };
+        let msg = self.next_msg();
+        observer.on_event(&Event::Send {
+            msg,
+            thread: notifier,
+        });
+        self.threads[waiter.index()].status = Status::Reacquire {
+            obj,
+            depth,
+            interrupted: false,
+            recv_msg: Some(msg),
+        };
+    }
+
+    fn deliver_interrupt(&mut self, target: ThreadId) {
+        let state = &mut self.threads[target.index()];
+        match state.status.clone() {
+            Status::Waiting { obj, depth } => {
+                // Interrupted out of a wait: must reacquire, then throw.
+                self.locks.remove_waiter(obj, target);
+                state.status = Status::Reacquire {
+                    obj,
+                    depth,
+                    interrupted: true,
+                    recv_msg: None,
+                };
+            }
+            Status::Exited => {}
+            _ => state.interrupted = true,
+        }
+    }
+
+    fn spawn_thread(&mut self, proc: ProcId, args: Vec<Value>) -> ThreadId {
+        let info = &self.program.procs[proc.index()];
+        let mut locals = vec![Value::Null; info.local_count()];
+        locals[..args.len()].clone_from_slice(&args);
+        let id = ThreadId(self.threads.len() as u32);
+        self.threads
+            .push(ThreadState::new(id, proc, info.entry, locals));
+        id
+    }
+
+    /// Marks a thread dead, emitting its termination `SND` (for later
+    /// `join`s) and the exit event.
+    fn finish_thread(
+        &mut self,
+        thread: ThreadId,
+        uncaught: Option<UncaughtException>,
+        observer: &mut dyn Observer,
+    ) {
+        self.threads[thread.index()].status = Status::Exited;
+        let msg = self.next_msg();
+        self.termination_msg.insert(thread, msg);
+        observer.on_event(&Event::Send { msg, thread });
+        observer.on_event(&Event::ThreadExited {
+            thread,
+            uncaught: uncaught.as_ref().map(|exception| exception.name),
+        });
+        if let Some(exception) = uncaught {
+            self.threads[thread.index()].uncaught = Some(exception.clone());
+            self.uncaught.push(exception);
+        }
+    }
+
+    /// Propagates `thrown` through `thread`'s protection stacks and frames.
+    fn unwind(
+        &mut self,
+        thread: ThreadId,
+        thrown: Thrown,
+        observer: &mut dyn Observer,
+    ) -> StepResult {
+        observer.on_event(&Event::ExceptionThrown {
+            thread,
+            name: thrown.name,
+            instr: thrown.at,
+        });
+        loop {
+            while let Some(protection) = self.threads[thread.index()]
+                .frame_mut()
+                .protections
+                .pop()
+            {
+                match protection {
+                    Protection::Monitor { obj } => {
+                        // Java releases monitors on abrupt completion.
+                        self.release_one(thread, obj, thrown.at, observer);
+                    }
+                    Protection::Catch { handler, catches } => {
+                        if catches.matches(thrown.name) {
+                            self.threads[thread.index()].frame_mut().pc = handler;
+                            observer.on_event(&Event::ExceptionCaught {
+                                thread,
+                                name: thrown.name,
+                            });
+                            return StepResult::Ran;
+                        }
+                    }
+                }
+            }
+            self.threads[thread.index()]
+                .frames
+                .pop()
+                .expect("unwinding thread has a frame");
+            if self.threads[thread.index()].frames.is_empty() {
+                let exception = UncaughtException {
+                    thread,
+                    name: thrown.name,
+                    message: thrown.message.clone(),
+                    at: thrown.at,
+                };
+                self.finish_thread(thread, Some(exception.clone()), observer);
+                return StepResult::Uncaught(exception);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Execution<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Execution")
+            .field("steps", &self.steps)
+            .field("threads", &self.threads.len())
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}

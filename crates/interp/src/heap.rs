@@ -1,0 +1,145 @@
+//! The shared heap: objects and arrays.
+//!
+//! Allocation order is deterministic (sequential ids), which keeps replay
+//! exact and makes `ObjId`s meaningful across repeated runs with the same
+//! schedule.
+
+use crate::value::{ObjId, Value};
+use cil::flat::ClassId;
+
+/// A heap cell.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HeapCell {
+    /// An instance of a class, with one slot per declared field.
+    Object {
+        /// The instantiated class.
+        class: ClassId,
+        /// Field values, in class declaration order.
+        fields: Vec<Value>,
+    },
+    /// A fixed-length array.
+    Array {
+        /// Element values.
+        elems: Vec<Value>,
+    },
+}
+
+/// The shared heap.
+#[derive(Clone, Debug, Default)]
+pub struct Heap {
+    cells: Vec<HeapCell>,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates an object of `class` with `field_count` `null` fields.
+    pub fn alloc_object(&mut self, class: ClassId, field_count: usize) -> ObjId {
+        let id = ObjId(self.cells.len() as u32);
+        self.cells.push(HeapCell::Object {
+            class,
+            fields: vec![Value::Null; field_count],
+        });
+        id
+    }
+
+    /// Allocates an array of `len` `null`s.
+    pub fn alloc_array(&mut self, len: usize) -> ObjId {
+        let id = ObjId(self.cells.len() as u32);
+        self.cells.push(HeapCell::Array {
+            elems: vec![Value::Null; len],
+        });
+        id
+    }
+
+    /// The cell for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not allocated from this heap.
+    pub fn cell(&self, id: ObjId) -> &HeapCell {
+        &self.cells[id.index()]
+    }
+
+    /// Mutable access to the cell for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not allocated from this heap.
+    pub fn cell_mut(&mut self, id: ObjId) -> &mut HeapCell {
+        &mut self.cells[id.index()]
+    }
+
+    /// Array length, if `id` is an array.
+    pub fn array_len(&self, id: ObjId) -> Option<usize> {
+        match self.cell(id) {
+            HeapCell::Array { elems } => Some(elems.len()),
+            HeapCell::Object { .. } => None,
+        }
+    }
+
+    /// Number of allocated cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` if nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_sequential() {
+        let mut heap = Heap::new();
+        let a = heap.alloc_object(ClassId(0), 2);
+        let b = heap.alloc_array(3);
+        assert_eq!(a, ObjId(0));
+        assert_eq!(b, ObjId(1));
+        assert_eq!(heap.len(), 2);
+    }
+
+    #[test]
+    fn objects_start_null() {
+        let mut heap = Heap::new();
+        let id = heap.alloc_object(ClassId(7), 2);
+        match heap.cell(id) {
+            HeapCell::Object { class, fields } => {
+                assert_eq!(*class, ClassId(7));
+                assert_eq!(fields, &vec![Value::Null, Value::Null]);
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arrays_report_length() {
+        let mut heap = Heap::new();
+        let arr = heap.alloc_array(4);
+        let obj = heap.alloc_object(ClassId(0), 0);
+        assert_eq!(heap.array_len(arr), Some(4));
+        assert_eq!(heap.array_len(obj), None);
+    }
+
+    #[test]
+    fn cells_are_mutable() {
+        let mut heap = Heap::new();
+        let arr = heap.alloc_array(1);
+        if let HeapCell::Array { elems } = heap.cell_mut(arr) {
+            elems[0] = Value::Int(9);
+        }
+        assert_eq!(
+            heap.cell(arr),
+            &HeapCell::Array {
+                elems: vec![Value::Int(9)]
+            }
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! A small, self-contained, splittable PRNG.
+//!
+//! Replay in RaceFuzzer works by re-running with the same seed (paper §2.2:
+//! "we can trivially replay a concurrent execution by picking the same seed
+//! for random number generation"). That guarantee must survive toolchain and
+//! dependency upgrades, so the generator is implemented here —
+//! xoshiro256\*\* seeded via SplitMix64 — rather than taken from an external
+//! crate whose stream might change between versions.
+
+/// Deterministic xoshiro256\*\* generator.
+///
+/// # Examples
+///
+/// ```
+/// use interp::Rng;
+///
+/// let mut a = Rng::seeded(42);
+/// let mut b = Rng::seeded(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng {
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Any seed (including 0) is fine.
+    pub fn seeded(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng {
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "Rng::below requires a non-zero bound");
+        // Widening-multiply rejection-free mapping (slightly biased for huge
+        // bounds; bounds here are thread counts, so the bias is negligible
+        // and the mapping is stable, which is what replay needs).
+        let x = self.next_u64() as u128;
+        ((x * bound as u128) >> 64) as usize
+    }
+
+    /// A fair coin flip — used to resolve detected races randomly
+    /// (Algorithm 1, line 11).
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Picks a uniformly random element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+
+    /// Derives an independent generator (for per-trial streams).
+    pub fn split(&mut self) -> Rng {
+        Rng::seeded(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seeded(7);
+        let mut b = Rng::seeded(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seeded(1);
+        let mut b = Rng::seeded(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = Rng::seeded(3);
+        for bound in 1..20 {
+            for _ in 0..50 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_reaches_every_value() {
+        let mut rng = Rng::seeded(11);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.below(5)] = true;
+        }
+        assert!(seen.iter().all(|&hit| hit));
+    }
+
+    #[test]
+    fn coin_is_roughly_fair() {
+        let mut rng = Rng::seeded(5);
+        let heads = (0..10_000).filter(|_| rng.coin()).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn choose_picks_existing_elements() {
+        let mut rng = Rng::seeded(9);
+        let items = ["a", "b", "c"];
+        for _ in 0..20 {
+            assert!(items.contains(rng.choose(&items)));
+        }
+    }
+
+    #[test]
+    fn split_streams_are_independent_but_deterministic() {
+        let mut parent1 = Rng::seeded(42);
+        let mut parent2 = Rng::seeded(42);
+        let mut child1 = parent1.split();
+        let mut child2 = parent2.split();
+        assert_eq!(child1.next_u64(), child2.next_u64());
+        assert_ne!(
+            Rng::seeded(42).next_u64(),
+            Rng::seeded(43).next_u64()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero bound")]
+    fn below_zero_bound_panics() {
+        Rng::seeded(0).below(0);
+    }
+
+    #[test]
+    fn known_vector_is_stable() {
+        // Pin the stream so accidental algorithm changes (which would break
+        // seed-replay compatibility) fail loudly.
+        let mut rng = Rng::seeded(0);
+        let first: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                11091344671253066420,
+                13793997310169335082,
+                1900383378846508768
+            ]
+        );
+    }
+}

@@ -1,0 +1,505 @@
+//! Schedulers and the execution driver.
+//!
+//! A [`Scheduler`] decides which enabled thread runs next at every state —
+//! the paper's source of schedule nondeterminism. Three passive baselines
+//! live here; the *active* race-directed scheduler (the paper's
+//! contribution) lives in the `racefuzzer` crate and drives [`Execution`]
+//! directly.
+
+use crate::event::Observer;
+use crate::exec::{Execution, SetupError, StepResult};
+use crate::rng::Rng;
+use crate::thread::UncaughtException;
+use crate::value::ThreadId;
+use cil::Program;
+
+/// Picks the next thread to run.
+pub trait Scheduler {
+    /// Chooses one of `exec.enabled()`. Returning `None` stops the run.
+    fn pick(&mut self, exec: &Execution<'_>) -> Option<ThreadId>;
+}
+
+/// Uniformly random choice among enabled threads at every statement — the
+/// paper's "simple random scheduler" baseline (§3.2, Table 1 column
+/// "Simple").
+#[derive(Clone, Debug)]
+pub struct RandomScheduler {
+    rng: Rng,
+}
+
+impl RandomScheduler {
+    /// Creates a scheduler from a seed; the whole schedule is a function of
+    /// this seed.
+    pub fn seeded(seed: u64) -> Self {
+        RandomScheduler {
+            rng: Rng::seeded(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn pick(&mut self, exec: &Execution<'_>) -> Option<ThreadId> {
+        let enabled = exec.enabled();
+        if enabled.is_empty() {
+            None
+        } else {
+            Some(*self.rng.choose(&enabled))
+        }
+    }
+}
+
+/// Runs the current thread until it blocks or exits, then moves to the next
+/// alive thread — a model of an unloaded default scheduler, under which racy
+/// interleavings are rare (the paper's "normal execution" baseline).
+#[derive(Clone, Debug, Default)]
+pub struct RunToBlockScheduler {
+    current: Option<ThreadId>,
+}
+
+impl RunToBlockScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RunToBlockScheduler {
+    fn pick(&mut self, exec: &Execution<'_>) -> Option<ThreadId> {
+        if let Some(current) = self.current {
+            if exec.is_enabled(current) {
+                return Some(current);
+            }
+        }
+        let enabled = exec.enabled();
+        self.current = enabled.first().copied();
+        self.current
+    }
+}
+
+/// Rotates between enabled threads with a fixed quantum of statements — a
+/// model of a preemptive time-sliced scheduler.
+#[derive(Clone, Debug)]
+pub struct RoundRobinScheduler {
+    quantum: u64,
+    remaining: u64,
+    last: Option<ThreadId>,
+}
+
+impl RoundRobinScheduler {
+    /// Creates a scheduler that preempts every `quantum` statements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    pub fn new(quantum: u64) -> Self {
+        assert!(quantum > 0, "quantum must be positive");
+        RoundRobinScheduler {
+            quantum,
+            remaining: quantum,
+            last: None,
+        }
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn pick(&mut self, exec: &Execution<'_>) -> Option<ThreadId> {
+        let enabled = exec.enabled();
+        if enabled.is_empty() {
+            return None;
+        }
+        if let Some(last) = self.last {
+            if self.remaining > 0 && exec.is_enabled(last) {
+                self.remaining -= 1;
+                return Some(last);
+            }
+        }
+        // Rotate: first enabled thread strictly after `last`, else wrap.
+        let next = match self.last {
+            Some(last) => enabled
+                .iter()
+                .copied()
+                .find(|&thread| thread > last)
+                .unwrap_or(enabled[0]),
+            None => enabled[0],
+        };
+        self.last = Some(next);
+        self.remaining = self.quantum.saturating_sub(1);
+        Some(next)
+    }
+}
+
+/// RAPOS — Random Partial Order Sampling (Sen, ASE 2007), the predecessor
+/// the paper compares against in §6: it samples partial orders roughly
+/// uniformly instead of interleavings, but "cannot often discover
+/// error-prone schedules with high probability" because the space of
+/// partial orders of a large program is astronomical.
+///
+/// At each sampling point the scheduler picks a random enabled thread and
+/// then adds, with probability ½ each, every other enabled thread whose
+/// next access does not conflict with the batch; the batch then executes
+/// in random order before the next sampling point.
+#[derive(Clone, Debug)]
+pub struct RaposScheduler {
+    rng: Rng,
+    batch: Vec<ThreadId>,
+}
+
+impl RaposScheduler {
+    /// Creates a RAPOS scheduler from a seed.
+    pub fn seeded(seed: u64) -> Self {
+        RaposScheduler {
+            rng: Rng::seeded(seed),
+            batch: Vec::new(),
+        }
+    }
+
+    fn refill(&mut self, exec: &Execution<'_>) {
+        let enabled = exec.enabled();
+        if enabled.is_empty() {
+            return;
+        }
+        let first = *self.rng.choose(&enabled);
+        let mut batch = vec![first];
+        let mut accesses: Vec<crate::event::Access> =
+            exec.next_access(first).into_iter().collect();
+        for &candidate in &enabled {
+            if candidate == first {
+                continue;
+            }
+            let conflict = exec.next_access(candidate).is_some_and(|access| {
+                accesses.iter().any(|held| held.conflicts_with(&access))
+            });
+            if !conflict && self.rng.coin() {
+                if let Some(access) = exec.next_access(candidate) {
+                    accesses.push(access);
+                }
+                batch.push(candidate);
+            }
+        }
+        // Execute the sampled batch in random order.
+        while !batch.is_empty() {
+            let index = self.rng.below(batch.len());
+            self.batch.push(batch.swap_remove(index));
+        }
+    }
+}
+
+impl Scheduler for RaposScheduler {
+    fn pick(&mut self, exec: &Execution<'_>) -> Option<ThreadId> {
+        loop {
+            match self.batch.pop() {
+                Some(thread) if exec.is_enabled(thread) => return Some(thread),
+                Some(_) => continue, // became disabled mid-batch; drop it
+                None => {
+                    self.refill(exec);
+                    if self.batch.is_empty() {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Resource limits for a run.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Maximum statements executed before the run is cut off.
+    pub max_steps: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_steps: 2_000_000,
+        }
+    }
+}
+
+/// Why a run stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Termination {
+    /// Every thread terminated.
+    AllExited,
+    /// No thread was enabled while some were alive — a real deadlock.
+    Deadlock(Vec<ThreadId>),
+    /// The step limit was hit (livelock or long-running program).
+    StepLimit,
+    /// The scheduler returned `None` with threads still enabled.
+    SchedulerStopped,
+}
+
+/// The observable outcome of a complete run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Why the run stopped.
+    pub termination: Termination,
+    /// Statements executed.
+    pub steps: u64,
+    /// Exceptions that killed threads.
+    pub uncaught: Vec<UncaughtException>,
+    /// `print` output.
+    pub output: Vec<String>,
+}
+
+impl RunOutcome {
+    /// Returns `true` if some thread died from an exception named `name`.
+    pub fn has_uncaught(&self, program: &Program, name: &str) -> bool {
+        self.uncaught
+            .iter()
+            .any(|exception| program.name(exception.name) == name)
+    }
+
+    /// Returns `true` if the run deadlocked.
+    pub fn deadlocked(&self) -> bool {
+        matches!(self.termination, Termination::Deadlock(_))
+    }
+}
+
+/// Runs `entry` under `scheduler`, delivering events to `observer`.
+///
+/// # Errors
+///
+/// Returns [`SetupError`] if `entry` is missing or takes parameters.
+pub fn run_with(
+    program: &Program,
+    entry: &str,
+    scheduler: &mut dyn Scheduler,
+    observer: &mut dyn Observer,
+    limits: Limits,
+) -> Result<RunOutcome, SetupError> {
+    let mut exec = Execution::new(program, entry)?;
+    let termination = drive(&mut exec, scheduler, observer, limits);
+    Ok(RunOutcome {
+        termination,
+        steps: exec.steps(),
+        uncaught: exec.uncaught().to_vec(),
+        output: exec.output().to_vec(),
+    })
+}
+
+/// Drives an existing execution to completion under `scheduler`.
+pub fn drive(
+    exec: &mut Execution<'_>,
+    scheduler: &mut dyn Scheduler,
+    observer: &mut dyn Observer,
+    limits: Limits,
+) -> Termination {
+    loop {
+        if exec.steps() >= limits.max_steps {
+            return Termination::StepLimit;
+        }
+        let enabled = exec.enabled();
+        if enabled.is_empty() {
+            let alive = exec.alive();
+            return if alive.is_empty() {
+                Termination::AllExited
+            } else {
+                Termination::Deadlock(alive)
+            };
+        }
+        let Some(choice) = scheduler.pick(exec) else {
+            return Termination::SchedulerStopped;
+        };
+        let result = exec.step(choice, observer);
+        // A disabled pick is a scheduler bug; skip rather than spin.
+        debug_assert_ne!(
+            result,
+            StepResult::NotEnabled,
+            "scheduler picked a disabled thread"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NullObserver;
+
+    fn run(source: &str, scheduler: &mut dyn Scheduler) -> RunOutcome {
+        let program = cil::compile(source).unwrap();
+        run_with(
+            &program,
+            "main",
+            scheduler,
+            &mut NullObserver,
+            Limits::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn straight_line_program_exits() {
+        let outcome = run(
+            "global g = 0; proc main() { g = 1; print g; }",
+            &mut RunToBlockScheduler::new(),
+        );
+        assert_eq!(outcome.termination, Termination::AllExited);
+        assert_eq!(outcome.output, vec!["1".to_string()]);
+    }
+
+    #[test]
+    fn random_scheduler_is_reproducible() {
+        let source = r#"
+            global x = 0;
+            proc writer(v) { x = v; }
+            proc main() {
+                var a = spawn writer(1);
+                var b = spawn writer(2);
+                join a; join b;
+                print x;
+            }
+        "#;
+        let out1 = run(source, &mut RandomScheduler::seeded(7));
+        let out2 = run(source, &mut RandomScheduler::seeded(7));
+        assert_eq!(out1.output, out2.output);
+        assert_eq!(out1.steps, out2.steps);
+    }
+
+    #[test]
+    fn different_seeds_can_differ() {
+        let source = r#"
+            global x = 0;
+            proc writer(v) { x = v; }
+            proc main() {
+                var a = spawn writer(1);
+                var b = spawn writer(2);
+                join a; join b;
+                print x;
+            }
+        "#;
+        let outputs: std::collections::HashSet<String> = (0..32)
+            .map(|seed| {
+                run(source, &mut RandomScheduler::seeded(seed)).output[0].clone()
+            })
+            .collect();
+        assert_eq!(outputs.len(), 2, "both final values observed: {outputs:?}");
+    }
+
+    #[test]
+    fn round_robin_requires_positive_quantum() {
+        let result = std::panic::catch_unwind(|| RoundRobinScheduler::new(0));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn round_robin_alternates_threads() {
+        let source = r#"
+            global a = 0;
+            global b = 0;
+            proc worker() { b = 1; b = 2; b = 3; }
+            proc main() {
+                var t = spawn worker();
+                a = 1; a = 2; a = 3;
+                join t;
+            }
+        "#;
+        let outcome = run(source, &mut RoundRobinScheduler::new(1));
+        assert_eq!(outcome.termination, Termination::AllExited);
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loops() {
+        let outcome = run_limited(
+            "proc main() { while (true) { nop; } }",
+            &mut RunToBlockScheduler::new(),
+            Limits { max_steps: 500 },
+        );
+        assert_eq!(outcome.termination, Termination::StepLimit);
+        assert!(outcome.steps <= 500);
+    }
+
+    fn run_limited(
+        source: &str,
+        scheduler: &mut dyn Scheduler,
+        limits: Limits,
+    ) -> RunOutcome {
+        let program = cil::compile(source).unwrap();
+        run_with(&program, "main", scheduler, &mut NullObserver, limits).unwrap()
+    }
+
+    #[test]
+    fn self_deadlock_is_detected() {
+        // Two threads each lock one object and then try the other, with a
+        // rendezvous through globals to force the deadlock interleaving
+        // under round-robin.
+        let source = r#"
+            global l1;
+            global l2;
+            proc t2() {
+                lock l2;
+                lock l1;
+                unlock l1;
+                unlock l2;
+            }
+            proc main() {
+                l1 = new Obj;
+                l2 = new Obj;
+                var t = spawn t2();
+                lock l1;
+                lock l2;
+                unlock l2;
+                unlock l1;
+                join t;
+            }
+            class Obj { }
+        "#;
+        // Quantum 1 round-robin reliably interleaves lock1/lock2.
+        let outcome = run(source, &mut RoundRobinScheduler::new(1));
+        assert!(
+            outcome.deadlocked(),
+            "expected deadlock, got {:?}",
+            outcome.termination
+        );
+    }
+
+    #[test]
+    fn rapos_is_reproducible_and_terminates() {
+        let source = r#"
+            global x = 0;
+            global y = 0;
+            proc writer(v) { x = v; y = v; }
+            proc main() {
+                var a = spawn writer(1);
+                var b = spawn writer(2);
+                join a; join b;
+                print x + y;
+            }
+        "#;
+        let out1 = run(source, &mut RaposScheduler::seeded(5));
+        let out2 = run(source, &mut RaposScheduler::seeded(5));
+        assert_eq!(out1.termination, Termination::AllExited);
+        assert_eq!(out1.output, out2.output);
+        assert_eq!(out1.steps, out2.steps);
+    }
+
+    #[test]
+    fn rapos_explores_multiple_outcomes() {
+        let source = r#"
+            global x = 0;
+            proc writer(v) { x = v; }
+            proc main() {
+                var a = spawn writer(1);
+                var b = spawn writer(2);
+                join a; join b;
+                print x;
+            }
+        "#;
+        let outputs: std::collections::HashSet<String> = (0..64)
+            .map(|seed| run(source, &mut RaposScheduler::seeded(seed)).output[0].clone())
+            .collect();
+        assert_eq!(outputs.len(), 2, "{outputs:?}");
+    }
+
+    #[test]
+    fn scheduler_stop_is_reported() {
+        struct Quitter;
+        impl Scheduler for Quitter {
+            fn pick(&mut self, _exec: &Execution<'_>) -> Option<ThreadId> {
+                None
+            }
+        }
+        let outcome = run("proc main() { nop; }", &mut Quitter);
+        assert_eq!(outcome.termination, Termination::SchedulerStopped);
+    }
+}

@@ -1,0 +1,154 @@
+//! Runtime values.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// Identifies a heap cell (object or array). Reference identity is `ObjId`
+/// equality, and memory locations are keyed on it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u32);
+
+impl ObjId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ObjId({})", self.0)
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// Identifies a logical thread of the interpreted program.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ThreadId({})", self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A CIL runtime value.
+///
+/// Values are dynamically typed; type mismatches raise the builtin
+/// `TypeError` exception in the interpreted program rather than panicking
+/// the host.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// String (immutable).
+    Str(Rc<str>),
+    /// Reference to a heap object or array.
+    Ref(ObjId),
+    /// A thread handle, as returned by `spawn`.
+    Thread(ThreadId),
+    /// The null reference.
+    Null,
+}
+
+impl Value {
+    /// A short name for the value's runtime type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "string",
+            Value::Ref(_) => "ref",
+            Value::Thread(_) => "thread",
+            Value::Null => "null",
+        }
+    }
+
+    /// Java-style `==`: identity for references, structural for primitives,
+    /// `false` across types (no implicit coercions).
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Ref(a), Value::Ref(b)) => a == b,
+            (Value::Thread(a), Value::Thread(b)) => a == b,
+            (Value::Null, Value::Null) => true,
+            _ => false,
+        }
+    }
+}
+
+impl From<&cil::Const> for Value {
+    fn from(constant: &cil::Const) -> Self {
+        match constant {
+            cil::Const::Int(value) => Value::Int(*value),
+            cil::Const::Bool(value) => Value::Bool(*value),
+            cil::Const::Str(text) => Value::Str(Rc::clone(text)),
+            cil::Const::Null => Value::Null,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(value) => write!(f, "{value}"),
+            Value::Bool(value) => write!(f, "{value}"),
+            Value::Str(text) => write!(f, "{text}"),
+            Value::Ref(obj) => write!(f, "{obj}"),
+            Value::Thread(thread) => write!(f, "{thread}"),
+            Value::Null => write!(f, "null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loose_eq_is_typed() {
+        assert!(Value::Int(1).loose_eq(&Value::Int(1)));
+        assert!(!Value::Int(1).loose_eq(&Value::Bool(true)));
+        assert!(!Value::Int(0).loose_eq(&Value::Null));
+        assert!(Value::Null.loose_eq(&Value::Null));
+        assert!(Value::Ref(ObjId(3)).loose_eq(&Value::Ref(ObjId(3))));
+        assert!(!Value::Ref(ObjId(3)).loose_eq(&Value::Ref(ObjId(4))));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Ref(ObjId(1)).to_string(), "obj1");
+        assert_eq!(Value::Thread(ThreadId(2)).to_string(), "t2");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+
+    #[test]
+    fn from_const_round_trips() {
+        assert_eq!(Value::from(&cil::Const::Int(9)), Value::Int(9));
+        assert_eq!(Value::from(&cil::Const::Null), Value::Null);
+        assert_eq!(Value::from(&cil::Const::Bool(true)), Value::Bool(true));
+    }
+}

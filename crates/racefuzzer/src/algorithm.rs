@@ -1,0 +1,264 @@
+//! The RaceFuzzer algorithm (paper Algorithms 1 and 2).
+//!
+//! Given a `RaceSet` — statements predicted to race by Phase 1 — the
+//! scheduler executes a random interleaving but **postpones** any thread
+//! whose next statement is in the `RaceSet`, until some other postponed
+//! thread's next statement would touch the *same dynamic memory location*
+//! (with at least one write). At that moment a **real race** has been
+//! created; the scheduler resolves it with a coin flip — running one side
+//! and keeping the other postponed — so both orders of the race are
+//! explored across seeds, exposing any exception the race can cause.
+//!
+//! Two liveness safeguards from the paper are implemented:
+//!
+//! * Algorithm 1 line 26: if every enabled thread is postponed, a random
+//!   one is evicted.
+//! * §4's monitor: a thread postponed for more than
+//!   [`FuzzConfig::postpone_limit`] scheduler decisions is evicted, which
+//!   breaks livelocks where a non-postponed thread spins on a flag that a
+//!   postponed thread would set.
+
+use crate::config::FuzzConfig;
+use crate::outcome::{FuzzOutcome, RealRaceEvent};
+use detector::RacePair;
+use interp::{
+    Execution, NullObserver, Rng, SetupError, Termination, ThreadId,
+};
+use cil::flat::InstrId;
+use std::collections::BTreeSet;
+
+/// Runs one race-directed random execution targeting `race_set`.
+///
+/// `race_set` is usually the two statements of a predicted racing pair, but
+/// the algorithm works for any statement set (the paper notes the same
+/// scheduler can be biased by atomicity-violation or deadlock statement
+/// sets); see [`crate::fuzz_pair_once`] for the pair-shaped entry point.
+///
+/// The execution is a deterministic function of `(program, entry, race_set,
+/// config)` — replay an interesting run by passing the same seed.
+///
+/// # Errors
+///
+/// Returns [`SetupError`] if `entry` does not name a zero-argument
+/// procedure.
+pub fn fuzz_once(
+    program: &cil::Program,
+    entry: &str,
+    race_set: &BTreeSet<InstrId>,
+    config: &FuzzConfig,
+) -> Result<FuzzOutcome, SetupError> {
+    let mut exec = Execution::new(program, entry)?;
+    let mut rng = Rng::seeded(config.seed);
+    let mut observer = NullObserver;
+
+    // The postponed set, with the scheduler-decision index at which each
+    // thread was postponed (for the livelock monitor).
+    let mut postponed: Vec<(ThreadId, u64)> = Vec::new();
+    let mut races: Vec<RealRaceEvent> = Vec::new();
+    let mut schedule: Option<Vec<ThreadId>> = config.record_schedule.then(Vec::new);
+    let mut decisions: u64 = 0;
+
+    let termination = loop {
+        if exec.steps() >= config.max_steps {
+            break Termination::StepLimit;
+        }
+        let enabled = exec.enabled();
+        if enabled.is_empty() {
+            let alive = exec.alive();
+            break if alive.is_empty() {
+                Termination::AllExited
+            } else {
+                // Algorithm 1 line 31: ERROR — actual deadlock found.
+                Termination::Deadlock(alive)
+            };
+        }
+        decisions += 1;
+
+        // §4 livelock monitor: evict (and run) threads postponed too long.
+        // Eviction *executes* the thread's pending statement — merely
+        // removing it from the set would let it be re-postponed for ever
+        // (the paper's Case 1 narrative: "thread1 will be removed from
+        // postponed and it will execute the remaining statements").
+        let expired: Vec<ThreadId> = postponed
+            .iter()
+            .filter(|&&(_, since)| decisions.saturating_sub(since) > config.postpone_limit)
+            .map(|&(thread, _)| thread)
+            .collect();
+        for thread in expired {
+            postponed.retain(|&(held, _)| held != thread);
+            if exec.is_enabled(thread) {
+                step(&mut exec, thread, &mut schedule, &mut observer);
+            }
+        }
+        // Defensive: a postponed thread is always enabled (its next
+        // statement is a memory access), but guard against future
+        // extensions adding blocking statements to race sets.
+        postponed.retain(|&(thread, _)| exec.is_enabled(thread));
+
+        let candidates: Vec<ThreadId> = enabled
+            .iter()
+            .copied()
+            .filter(|thread| {
+                exec.is_enabled(*thread)
+                    && postponed.iter().all(|&(held, _)| held != *thread)
+            })
+            .collect();
+        if candidates.is_empty() {
+            if postponed.is_empty() {
+                // The livelock monitor just ran every enabled thread.
+                continue;
+            }
+            // Algorithm 1 lines 26–28 (also reachable when a non-postponed
+            // thread blocked): release a random postponed thread and run
+            // its pending statement.
+            let index = rng.below(postponed.len());
+            let (freed, _) = postponed.remove(index);
+            if exec.is_enabled(freed) {
+                step(&mut exec, freed, &mut schedule, &mut observer);
+            }
+            continue;
+        }
+
+        let chosen = *rng.choose(&candidates);
+        let next = exec.next_instr(chosen);
+        let targeted = next.is_some_and(|instr| race_set.contains(&instr));
+
+        if !targeted {
+            // Line 24: the common case.
+            step(&mut exec, chosen, &mut schedule, &mut observer);
+            // §4 optimisation: keep the thread running until the next
+            // synchronization operation or RaceSet statement.
+            if config.switch_only_at_sync {
+                while exec.steps() < config.max_steps && exec.is_enabled(chosen) {
+                    let Some(instr) = exec.next_instr(chosen) else {
+                        break; // resuming from a wait: a sync point
+                    };
+                    if race_set.contains(&instr) || exec.program().instr(instr).is_sync_op() {
+                        break;
+                    }
+                    step(&mut exec, chosen, &mut schedule, &mut observer);
+                }
+            }
+        } else {
+            // Algorithm 2: postponed threads whose next access conflicts
+            // with ours on the same dynamic location.
+            let chosen_access = exec.next_access(chosen);
+            let racing: Vec<ThreadId> = if config.location_precise {
+                match chosen_access {
+                    None => Vec::new(),
+                    Some(mine) => postponed
+                        .iter()
+                        .map(|&(thread, _)| thread)
+                        .filter(|&thread| {
+                            exec.next_access(thread)
+                                .is_some_and(|theirs| mine.conflicts_with(&theirs))
+                        })
+                        .collect(),
+                }
+            } else {
+                // Ablation: skip Algorithm 2's same-location test.
+                postponed.iter().map(|&(thread, _)| thread).collect()
+            };
+
+            if racing.is_empty() {
+                // Line 21: wait for a real race to materialise.
+                postponed.push((chosen, decisions));
+            } else {
+                // Lines 8–19: a real race. Record it, resolve randomly.
+                let my_instr = next.expect("targeted statement exists");
+                for &partner in &racing {
+                    let partner_instr = exec
+                        .next_instr(partner)
+                        .expect("postponed thread is runnable");
+                    races.push(RealRaceEvent {
+                        step: exec.steps(),
+                        pair: RacePair::new(my_instr, partner_instr),
+                        loc: chosen_access.map(|access| access.loc),
+                        ran_first: chosen,
+                        partners: vec![partner],
+                    });
+                }
+                if rng.coin() {
+                    // Run the arriving thread; keep the others postponed.
+                    step(&mut exec, chosen, &mut schedule, &mut observer);
+                } else {
+                    // Postpone the arriving thread, run every racing peer.
+                    postponed.push((chosen, decisions));
+                    for &partner in &racing {
+                        step(&mut exec, partner, &mut schedule, &mut observer);
+                        postponed.retain(|&(thread, _)| thread != partner);
+                    }
+                }
+            }
+        }
+
+        // Line 26: all enabled threads postponed → release one at random
+        // and run its pending statement so the schedule makes progress.
+        let enabled_now = exec.enabled();
+        if !enabled_now.is_empty()
+            && enabled_now
+                .iter()
+                .all(|thread| postponed.iter().any(|&(held, _)| held == *thread))
+        {
+            let index = rng.below(postponed.len());
+            let (freed, _) = postponed.remove(index);
+            if exec.is_enabled(freed) {
+                step(&mut exec, freed, &mut schedule, &mut observer);
+            }
+        }
+    };
+
+    Ok(FuzzOutcome {
+        seed: config.seed,
+        races,
+        termination,
+        uncaught: exec.uncaught().to_vec(),
+        steps: exec.steps(),
+        output: exec.output().to_vec(),
+        schedule,
+    })
+}
+
+fn step(
+    exec: &mut Execution<'_>,
+    thread: ThreadId,
+    schedule: &mut Option<Vec<ThreadId>>,
+    observer: &mut NullObserver,
+) {
+    if let Some(trace) = schedule {
+        trace.push(thread);
+    }
+    let result = exec.step(thread, observer);
+    debug_assert!(
+        result != interp::StepResult::NotEnabled,
+        "scheduler stepped a disabled thread"
+    );
+}
+
+/// Runs [`fuzz_once`] targeting a predicted pair of statements.
+///
+/// # Errors
+///
+/// Returns [`SetupError`] if `entry` does not name a zero-argument
+/// procedure.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if either statement of `pair` is not a
+/// shared-memory access — such a pair cannot race and would only be
+/// postponed and evicted.
+pub fn fuzz_pair_once(
+    program: &cil::Program,
+    entry: &str,
+    pair: RacePair,
+    config: &FuzzConfig,
+) -> Result<FuzzOutcome, SetupError> {
+    debug_assert!(
+        pair.instrs()
+            .iter()
+            .all(|&instr| program.instr(instr).is_memory_access()),
+        "race set statements must be shared-memory accesses"
+    );
+    let race_set: BTreeSet<InstrId> = pair.instrs().into_iter().collect();
+    fuzz_once(program, entry, &race_set, config)
+}

@@ -1,0 +1,111 @@
+//! Results of a race-directed execution.
+
+use detector::RacePair;
+use interp::{Loc, Termination, ThreadId, UncaughtException};
+use std::collections::BTreeSet;
+
+/// A *real race* created by the scheduler: two threads whose next
+/// statements access the same dynamic memory location, at least one
+/// writing, brought temporally next to each other.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RealRaceEvent {
+    /// Scheduler step at which the race was created.
+    pub step: u64,
+    /// The racing statement pair (actual statements of the two threads).
+    pub pair: RacePair,
+    /// The dynamic memory location the arriving thread was about to touch
+    /// (equal to the partner's location when the precise check is on).
+    /// `None` only under the location-imprecise ablation
+    /// ([`crate::FuzzConfig::location_precise`] = false) when the arriving
+    /// statement's address does not resolve.
+    pub loc: Option<Loc>,
+    /// The thread whose statement was chosen by the coin flip to run first.
+    pub ran_first: ThreadId,
+    /// The postponed thread(s) it raced with.
+    pub partners: Vec<ThreadId>,
+}
+
+/// Everything observable from one RaceFuzzer execution.
+#[derive(Clone, Debug)]
+pub struct FuzzOutcome {
+    /// The seed that produced (and can replay) this execution.
+    pub seed: u64,
+    /// Each time a real race was created and resolved.
+    pub races: Vec<RealRaceEvent>,
+    /// Why the run ended.
+    pub termination: Termination,
+    /// Exceptions that killed threads (the paper's "harmful race" signal).
+    pub uncaught: Vec<UncaughtException>,
+    /// Statements executed.
+    pub steps: u64,
+    /// `print` output of the program.
+    pub output: Vec<String>,
+    /// The scheduled thread at each step, when recording was enabled.
+    pub schedule: Option<Vec<ThreadId>>,
+}
+
+impl FuzzOutcome {
+    /// `true` if at least one real race was created.
+    pub fn race_created(&self) -> bool {
+        !self.races.is_empty()
+    }
+
+    /// The distinct statement pairs actually brought into a race.
+    pub fn real_pairs(&self) -> BTreeSet<RacePair> {
+        self.races.iter().map(|race| race.pair).collect()
+    }
+
+    /// `true` if the run ended in a real deadlock (paper Algorithm 1,
+    /// line 31: "ERROR: actual deadlock found").
+    pub fn deadlocked(&self) -> bool {
+        matches!(self.termination, Termination::Deadlock(_))
+    }
+
+    /// `true` if some thread died of exception `name`.
+    pub fn has_uncaught(&self, program: &cil::Program, name: &str) -> bool {
+        self.uncaught
+            .iter()
+            .any(|exception| program.name(exception.name) == name)
+    }
+
+    /// Names of all uncaught exceptions, resolved against `program`.
+    pub fn uncaught_names<'p>(&self, program: &'p cil::Program) -> Vec<&'p str> {
+        self.uncaught
+            .iter()
+            .map(|exception| program.name(exception.name))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cil::flat::{GlobalId, InstrId};
+
+    fn outcome_with_races(races: Vec<RealRaceEvent>) -> FuzzOutcome {
+        FuzzOutcome {
+            seed: 0,
+            races,
+            termination: Termination::AllExited,
+            uncaught: vec![],
+            steps: 0,
+            output: vec![],
+            schedule: None,
+        }
+    }
+
+    #[test]
+    fn race_created_reflects_events() {
+        assert!(!outcome_with_races(vec![]).race_created());
+        let event = RealRaceEvent {
+            step: 3,
+            pair: RacePair::new(InstrId(1), InstrId(2)),
+            loc: Some(Loc::Global(GlobalId(0))),
+            ran_first: ThreadId(0),
+            partners: vec![ThreadId(1)],
+        };
+        let outcome = outcome_with_races(vec![event.clone(), event]);
+        assert!(outcome.race_created());
+        assert_eq!(outcome.real_pairs().len(), 1, "duplicates collapse");
+    }
+}

@@ -1,0 +1,263 @@
+//! The two-phase driver: predict races, then fuzz each predicted pair.
+//!
+//! This is the experimental protocol of the paper's §5: run Phase 1 once to
+//! get potential racing pairs, then invoke the Phase 2 scheduler ~100 times
+//! per pair with different seeds, recording how often the race is actually
+//! created (Table 1's "probability of hitting a race"), which pairs turn
+//! out real, and which raise exceptions.
+
+use crate::algorithm::fuzz_pair_once;
+use crate::config::FuzzConfig;
+use detector::{predict_races, PredictConfig, RacePair};
+use interp::{run_with, Limits, NullObserver, RandomScheduler, SetupError};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Options for [`analyze`].
+#[derive(Clone, Debug)]
+pub struct AnalyzeOptions {
+    /// Phase-1 (prediction) configuration.
+    pub predict: PredictConfig,
+    /// RaceFuzzer trials per predicted pair (the paper uses 100).
+    pub trials_per_pair: usize,
+    /// Seed of the first trial; trial `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Template for each trial's scheduler configuration (its `seed` field
+    /// is overwritten per trial).
+    pub fuzz: FuzzConfig,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            predict: PredictConfig::default(),
+            trials_per_pair: 100,
+            base_seed: 1,
+            fuzz: FuzzConfig::default(),
+        }
+    }
+}
+
+impl AnalyzeOptions {
+    /// Like the default, but with `trials` RaceFuzzer runs per pair.
+    pub fn with_trials(trials: usize) -> Self {
+        AnalyzeOptions {
+            trials_per_pair: trials,
+            ..Self::default()
+        }
+    }
+}
+
+/// Statistics from fuzzing one predicted pair.
+#[derive(Clone, Debug)]
+pub struct PairReport {
+    /// The pair handed to the scheduler.
+    pub target: RacePair,
+    /// Trials run.
+    pub trials: usize,
+    /// Trials in which a real race was created.
+    pub hits: usize,
+    /// Distinct statement pairs actually brought into a race (subsets of
+    /// the target's statements; may include same-statement pairs).
+    pub real_pairs: BTreeSet<RacePair>,
+    /// Trials in which at least one thread died of an exception.
+    pub exception_trials: usize,
+    /// Exception name → number of trials in which it killed a thread.
+    pub exceptions: BTreeMap<String, usize>,
+    /// Trials that ended in a real deadlock.
+    pub deadlock_trials: usize,
+    /// Seed of the first race-creating trial (for replay).
+    pub first_hit_seed: Option<u64>,
+    /// Seed of the first exception-raising trial (for replay).
+    pub first_exception_seed: Option<u64>,
+}
+
+impl PairReport {
+    /// Estimated probability that a trial creates the race (Table 1,
+    /// column 11).
+    pub fn hit_probability(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.trials as f64
+        }
+    }
+
+    /// `true` if the pair was confirmed real (raced in some trial).
+    pub fn is_real(&self) -> bool {
+        self.hits > 0
+    }
+}
+
+/// The full report of a two-phase analysis.
+#[derive(Clone, Debug)]
+pub struct AnalysisReport {
+    /// Phase-1 output: potential racing pairs (Table 1, "Hybrid # races").
+    pub potential: Vec<RacePair>,
+    /// Per-pair Phase-2 statistics, parallel to `potential`.
+    pub pairs: Vec<PairReport>,
+}
+
+impl AnalysisReport {
+    /// Pairs confirmed real by Phase 2 (Table 1, "RF (real)").
+    pub fn real_races(&self) -> Vec<RacePair> {
+        self.pairs
+            .iter()
+            .filter(|pair| pair.is_real())
+            .map(|pair| pair.target)
+            .collect()
+    }
+
+    /// Distinct target pairs whose fuzzing raised an exception (Table 1,
+    /// "# of Exceptions RF").
+    pub fn exception_pairs(&self) -> Vec<RacePair> {
+        self.pairs
+            .iter()
+            .filter(|pair| pair.exception_trials > 0)
+            .map(|pair| pair.target)
+            .collect()
+    }
+
+    /// Union of exception names seen across all pairs.
+    pub fn exception_names(&self) -> BTreeSet<String> {
+        self.pairs
+            .iter()
+            .flat_map(|pair| pair.exceptions.keys().cloned())
+            .collect()
+    }
+
+    /// Target pairs whose fuzzing produced a real deadlock.
+    pub fn deadlock_pairs(&self) -> Vec<RacePair> {
+        self.pairs
+            .iter()
+            .filter(|pair| pair.deadlock_trials > 0)
+            .map(|pair| pair.target)
+            .collect()
+    }
+
+    /// Mean per-real-pair hit probability (Table 1, column 11); `None` if
+    /// no pair is real.
+    pub fn mean_hit_probability(&self) -> Option<f64> {
+        let real: Vec<&PairReport> = self.pairs.iter().filter(|pair| pair.is_real()).collect();
+        if real.is_empty() {
+            return None;
+        }
+        Some(real.iter().map(|pair| pair.hit_probability()).sum::<f64>() / real.len() as f64)
+    }
+}
+
+/// Fuzzes one predicted pair `trials` times with consecutive seeds.
+///
+/// # Errors
+///
+/// Returns [`SetupError`] if `entry` does not name a zero-argument
+/// procedure.
+pub fn fuzz_pair(
+    program: &cil::Program,
+    entry: &str,
+    target: RacePair,
+    trials: usize,
+    base_seed: u64,
+    template: &FuzzConfig,
+) -> Result<PairReport, SetupError> {
+    let mut report = PairReport {
+        target,
+        trials,
+        hits: 0,
+        real_pairs: BTreeSet::new(),
+        exception_trials: 0,
+        exceptions: BTreeMap::new(),
+        deadlock_trials: 0,
+        first_hit_seed: None,
+        first_exception_seed: None,
+    };
+    for trial in 0..trials {
+        let seed = base_seed + trial as u64;
+        let config = FuzzConfig {
+            seed,
+            ..template.clone()
+        };
+        let outcome = fuzz_pair_once(program, entry, target, &config)?;
+        if outcome.race_created() {
+            report.hits += 1;
+            report.real_pairs.extend(outcome.real_pairs());
+            report.first_hit_seed.get_or_insert(seed);
+        }
+        if !outcome.uncaught.is_empty() {
+            report.exception_trials += 1;
+            report.first_exception_seed.get_or_insert(seed);
+            let mut names: BTreeSet<String> = BTreeSet::new();
+            for exception in &outcome.uncaught {
+                names.insert(program.name(exception.name).to_owned());
+            }
+            for name in names {
+                *report.exceptions.entry(name).or_insert(0) += 1;
+            }
+        }
+        if outcome.deadlocked() {
+            report.deadlock_trials += 1;
+        }
+    }
+    Ok(report)
+}
+
+/// Runs the complete two-phase analysis: Phase 1 prediction, then Phase 2
+/// fuzzing of every predicted pair.
+///
+/// # Errors
+///
+/// Returns [`SetupError`] if `entry` does not name a zero-argument
+/// procedure.
+pub fn analyze(
+    program: &cil::Program,
+    entry: &str,
+    options: &AnalyzeOptions,
+) -> Result<AnalysisReport, SetupError> {
+    let potential = predict_races(program, entry, &options.predict)?;
+    let mut pairs = Vec::with_capacity(potential.len());
+    for &target in &potential {
+        pairs.push(fuzz_pair(
+            program,
+            entry,
+            target,
+            options.trials_per_pair,
+            options.base_seed,
+            &options.fuzz,
+        )?);
+    }
+    Ok(AnalysisReport { potential, pairs })
+}
+
+/// Baseline for Table 1's "Simple" column: run `trials` plain
+/// random-scheduler executions and count the trials in which each exception
+/// killed a thread.
+///
+/// # Errors
+///
+/// Returns [`SetupError`] if `entry` does not name a zero-argument
+/// procedure.
+pub fn simple_random_exceptions(
+    program: &cil::Program,
+    entry: &str,
+    trials: usize,
+    base_seed: u64,
+    limits: Limits,
+) -> Result<BTreeMap<String, usize>, SetupError> {
+    let mut counts = BTreeMap::new();
+    for trial in 0..trials {
+        let outcome = run_with(
+            program,
+            entry,
+            &mut RandomScheduler::seeded(base_seed + trial as u64),
+            &mut NullObserver,
+            limits,
+        )?;
+        let mut names: BTreeSet<String> = BTreeSet::new();
+        for exception in &outcome.uncaught {
+            names.insert(program.name(exception.name).to_owned());
+        }
+        for name in names {
+            *counts.entry(name).or_insert(0) += 1;
+        }
+    }
+    Ok(counts)
+}

@@ -1,0 +1,331 @@
+//! Vector clocks and the happens-before partial order.
+//!
+//! A [`VectorClock`] summarises, per thread, how many logical steps of that
+//! thread are "known" at a point in an execution. The hybrid race detector of
+//! the RaceFuzzer paper (Phase 1) keeps one clock per thread, advances it on
+//! local events, and joins clocks along `SND`/`RCV` synchronization edges
+//! (thread start, join, and notify→wait). Two events are *concurrent* — a
+//! precondition of the paper's race predicate — exactly when neither of their
+//! clocks [`VectorClock::le`]s the other.
+//!
+//! # Examples
+//!
+//! ```
+//! use vclock::VectorClock;
+//!
+//! let mut a = VectorClock::new();
+//! let mut b = VectorClock::new();
+//! a.tick(0); // thread 0 performs an event
+//! b.tick(1); // thread 1 performs an event
+//! assert!(a.concurrent(&b));
+//!
+//! // A synchronization edge from thread 0 to thread 1 orders them:
+//! b.join(&a);
+//! b.tick(1);
+//! assert!(a.le(&b));
+//! assert!(!b.le(&a));
+//! ```
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A vector clock: a map from thread index to logical timestamp.
+///
+/// The clock is stored densely; missing entries are implicitly zero, so
+/// clocks over different numbers of threads compare correctly.
+///
+/// # Examples
+///
+/// ```
+/// use vclock::VectorClock;
+///
+/// let mut c = VectorClock::new();
+/// c.tick(3);
+/// assert_eq!(c.get(3), 1);
+/// assert_eq!(c.get(7), 0); // implicit zero
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct VectorClock {
+    entries: Vec<u64>,
+}
+
+impl VectorClock {
+    /// Creates an empty clock (all components zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock with the given per-thread components.
+    ///
+    /// Trailing zeros are normalised away so that equal clocks compare equal
+    /// regardless of how many explicit zero entries they were built with.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vclock::VectorClock;
+    /// let a = VectorClock::from_components([1, 0, 2]);
+    /// let b = VectorClock::from_components([1, 0, 2, 0, 0]);
+    /// assert_eq!(a, b);
+    /// ```
+    pub fn from_components<I: IntoIterator<Item = u64>>(components: I) -> Self {
+        let mut clock = Self {
+            entries: components.into_iter().collect(),
+        };
+        clock.normalize();
+        clock
+    }
+
+    /// Returns the component for `thread` (zero if never ticked).
+    pub fn get(&self, thread: usize) -> u64 {
+        self.entries.get(thread).copied().unwrap_or(0)
+    }
+
+    /// Sets the component for `thread`.
+    pub fn set(&mut self, thread: usize, value: u64) {
+        if thread >= self.entries.len() {
+            if value == 0 {
+                return;
+            }
+            self.entries.resize(thread + 1, 0);
+        }
+        self.entries[thread] = value;
+        self.normalize();
+    }
+
+    /// Advances `thread`'s component by one and returns the new value.
+    pub fn tick(&mut self, thread: usize) -> u64 {
+        if thread >= self.entries.len() {
+            self.entries.resize(thread + 1, 0);
+        }
+        self.entries[thread] += 1;
+        self.entries[thread]
+    }
+
+    /// Pointwise maximum with `other` (the classic vector-clock join).
+    ///
+    /// Used on every `RCV` event: the receiving thread learns everything the
+    /// sender knew.
+    pub fn join(&mut self, other: &VectorClock) {
+        if other.entries.len() > self.entries.len() {
+            self.entries.resize(other.entries.len(), 0);
+        }
+        for (mine, theirs) in self.entries.iter_mut().zip(other.entries.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Returns the pointwise maximum of two clocks without mutating either.
+    pub fn joined(&self, other: &VectorClock) -> VectorClock {
+        let mut out = self.clone();
+        out.join(other);
+        out
+    }
+
+    /// Returns `true` if `self ≤ other` pointwise, i.e. the event stamped
+    /// `self` happens-before (or equals) the event stamped `other`.
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.entries
+            .iter()
+            .enumerate()
+            .all(|(thread, &value)| value <= other.get(thread))
+    }
+
+    /// Returns `true` if `self < other`: `self ≤ other` and they differ.
+    pub fn lt(&self, other: &VectorClock) -> bool {
+        self.le(other) && self != other
+    }
+
+    /// Returns `true` if neither clock happens-before the other.
+    ///
+    /// This is the concurrency test in the paper's hybrid race predicate:
+    /// `¬(e_i ⪯ e_j) ∧ ¬(e_j ⪯ e_i)`.
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+
+    /// Number of threads with a non-zero component.
+    pub fn active_threads(&self) -> usize {
+        self.entries.iter().filter(|&&value| value > 0).count()
+    }
+
+    /// Returns `true` if every component is zero.
+    pub fn is_zero(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(thread, timestamp)` pairs with non-zero timestamps.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.entries
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, value)| value > 0)
+    }
+
+    fn normalize(&mut self) {
+        while self.entries.last() == Some(&0) {
+            self.entries.pop();
+        }
+    }
+}
+
+impl PartialOrd for VectorClock {
+    /// The happens-before partial order. Returns `None` for concurrent clocks.
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match (self.le(other), other.le(self)) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VectorClock{:?}", self.entries)
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, (thread, value)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "t{thread}:{value}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl FromIterator<u64> for VectorClock {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        Self::from_components(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(components: &[u64]) -> VectorClock {
+        VectorClock::from_components(components.iter().copied())
+    }
+
+    #[test]
+    fn new_clock_is_zero() {
+        let clock = VectorClock::new();
+        assert!(clock.is_zero());
+        assert_eq!(clock.get(0), 0);
+        assert_eq!(clock.get(100), 0);
+        assert_eq!(clock.active_threads(), 0);
+    }
+
+    #[test]
+    fn tick_advances_single_component() {
+        let mut clock = VectorClock::new();
+        assert_eq!(clock.tick(2), 1);
+        assert_eq!(clock.tick(2), 2);
+        assert_eq!(clock.get(2), 2);
+        assert_eq!(clock.get(0), 0);
+        assert_eq!(clock.active_threads(), 1);
+    }
+
+    #[test]
+    fn trailing_zeros_do_not_affect_equality() {
+        assert_eq!(vc(&[1, 2]), vc(&[1, 2, 0, 0]));
+        let mut clock = vc(&[1, 2, 3]);
+        clock.set(2, 0);
+        assert_eq!(clock, vc(&[1, 2]));
+    }
+
+    #[test]
+    fn set_ignores_zero_beyond_len() {
+        let mut clock = VectorClock::new();
+        clock.set(5, 0);
+        assert!(clock.is_zero());
+        clock.set(5, 7);
+        assert_eq!(clock.get(5), 7);
+    }
+
+    #[test]
+    fn le_on_comparable_clocks() {
+        assert!(vc(&[1, 2]).le(&vc(&[1, 3])));
+        assert!(!vc(&[1, 3]).le(&vc(&[1, 2])));
+        assert!(vc(&[]).le(&vc(&[1])));
+        assert!(vc(&[1, 2]).le(&vc(&[1, 2])));
+    }
+
+    #[test]
+    fn lt_is_strict() {
+        assert!(vc(&[1, 2]).lt(&vc(&[1, 3])));
+        assert!(!vc(&[1, 2]).lt(&vc(&[1, 2])));
+    }
+
+    #[test]
+    fn concurrent_clocks_are_incomparable() {
+        let a = vc(&[2, 0]);
+        let b = vc(&[0, 2]);
+        assert!(a.concurrent(&b));
+        assert!(b.concurrent(&a));
+        assert_eq!(a.partial_cmp(&b), None);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = vc(&[1, 5, 0]);
+        a.join(&vc(&[3, 2, 0, 4]));
+        assert_eq!(a, vc(&[3, 5, 0, 4]));
+    }
+
+    #[test]
+    fn joined_does_not_mutate() {
+        let a = vc(&[1, 0]);
+        let b = vc(&[0, 1]);
+        let j = a.joined(&b);
+        assert_eq!(j, vc(&[1, 1]));
+        assert_eq!(a, vc(&[1, 0]));
+    }
+
+    #[test]
+    fn partial_ord_matches_le() {
+        assert_eq!(vc(&[1]).partial_cmp(&vc(&[2])), Some(Ordering::Less));
+        assert_eq!(vc(&[2]).partial_cmp(&vc(&[1])), Some(Ordering::Greater));
+        assert_eq!(vc(&[2]).partial_cmp(&vc(&[2])), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn message_edge_orders_events() {
+        // Model: t0 ticks, sends; t1 receives (joins), ticks.
+        let mut sender = VectorClock::new();
+        sender.tick(0);
+        let message = sender.clone();
+        let mut receiver = VectorClock::new();
+        receiver.join(&message);
+        receiver.tick(1);
+        assert!(sender.lt(&receiver));
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        assert_eq!(format!("{}", VectorClock::new()), "⟨⟩");
+        assert_eq!(format!("{}", vc(&[1, 0, 3])), "⟨t0:1, t2:3⟩");
+        assert!(!format!("{:?}", VectorClock::new()).is_empty());
+    }
+
+    #[test]
+    fn iter_skips_zero_components() {
+        let clock = vc(&[0, 4, 0, 9]);
+        let pairs: Vec<_> = clock.iter().collect();
+        assert_eq!(pairs, vec![(1, 4), (3, 9)]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let clock: VectorClock = [1u64, 2, 3].into_iter().collect();
+        assert_eq!(clock, vc(&[1, 2, 3]));
+    }
+}

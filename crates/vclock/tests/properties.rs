@@ -1,0 +1,88 @@
+//! Property-based tests for the vector-clock laws that the happens-before
+//! relation in the race detector depends on.
+
+use proptest::prelude::*;
+use vclock::VectorClock;
+
+fn arb_clock() -> impl Strategy<Value = VectorClock> {
+    proptest::collection::vec(0u64..16, 0..8).prop_map(VectorClock::from_components)
+}
+
+proptest! {
+    /// `le` is a partial order: reflexive.
+    #[test]
+    fn le_reflexive(a in arb_clock()) {
+        prop_assert!(a.le(&a));
+    }
+
+    /// `le` is antisymmetric.
+    #[test]
+    fn le_antisymmetric(a in arb_clock(), b in arb_clock()) {
+        if a.le(&b) && b.le(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// `le` is transitive.
+    #[test]
+    fn le_transitive(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+        if a.le(&b) && b.le(&c) {
+            prop_assert!(a.le(&c));
+        }
+    }
+
+    /// Join is the least upper bound: an upper bound of both inputs…
+    #[test]
+    fn join_is_upper_bound(a in arb_clock(), b in arb_clock()) {
+        let j = a.joined(&b);
+        prop_assert!(a.le(&j));
+        prop_assert!(b.le(&j));
+    }
+
+    /// …and least among upper bounds.
+    #[test]
+    fn join_is_least_upper_bound(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+        if a.le(&c) && b.le(&c) {
+            prop_assert!(a.joined(&b).le(&c));
+        }
+    }
+
+    /// Join is commutative, associative, and idempotent.
+    #[test]
+    fn join_lattice_laws(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+        prop_assert_eq!(a.joined(&b), b.joined(&a));
+        prop_assert_eq!(a.joined(&b).joined(&c), a.joined(&b.joined(&c)));
+        prop_assert_eq!(a.joined(&a), a.clone());
+    }
+
+    /// Ticking makes a clock strictly later than it was.
+    #[test]
+    fn tick_strictly_advances(a in arb_clock(), thread in 0usize..8) {
+        let before = a.clone();
+        let mut after = a;
+        after.tick(thread);
+        prop_assert!(before.lt(&after));
+    }
+
+    /// Concurrency is symmetric and irreflexive.
+    #[test]
+    fn concurrent_symmetric(a in arb_clock(), b in arb_clock()) {
+        prop_assert_eq!(a.concurrent(&b), b.concurrent(&a));
+        prop_assert!(!a.concurrent(&a));
+    }
+
+    /// Exactly one of: a < b, b < a, a == b, or concurrent.
+    #[test]
+    fn trichotomy_plus_concurrency(a in arb_clock(), b in arb_clock()) {
+        let cases = [a.lt(&b), b.lt(&a), a == b, a.concurrent(&b)];
+        prop_assert_eq!(cases.iter().filter(|&&case| case).count(), 1);
+    }
+
+    /// `get`/`set` round-trip.
+    #[test]
+    fn get_set_roundtrip(a in arb_clock(), thread in 0usize..8, value in 0u64..100) {
+        let mut clock = a;
+        clock.set(thread, value);
+        prop_assert_eq!(clock.get(thread), value);
+    }
+}

@@ -1,0 +1,514 @@
+//! Models of the paper's application benchmarks (Table 1 rows 4–9).
+//!
+//! Two synchronization idioms recur across these applications and drive
+//! the shape of the paper's results:
+//!
+//! * **Flag handshake with unprotected payload**: a producer writes payload
+//!   fields, then sets a lock-protected flag; consumers spin on the flag
+//!   (under the lock) and read the payload without a common lock. The
+//!   payload accesses are *really* ordered but the hybrid detector reports
+//!   them (locksets are disjoint and it tracks no lock edges) — classic
+//!   false alarms that RaceFuzzer refutes by failing to bring them
+//!   together.
+//! * **Genuinely unprotected shared fields** (stats counters, status
+//!   flags): real races, confirmed by RaceFuzzer, some of which lead to
+//!   exceptions (`cache4j`'s interrupted cleaner, `weblech`'s stale index,
+//!   `hedc`'s null result).
+
+use crate::{PaperRow, Workload};
+use std::fmt::Write as _;
+
+/// Builds the flag-handshake false-alarm pattern: `count` payload fields
+/// written by the producer before a lock-protected `ready` flag, and read
+/// by the consumer after spinning on the flag. Returns
+/// `(class_fields, writes, reads)` source fragments.
+fn handshake_fragments(obj: &str, count: usize) -> (String, String, String) {
+    let mut fields = String::new();
+    let mut writes = String::new();
+    let mut reads = String::new();
+    for i in 0..count {
+        if i > 0 {
+            fields.push_str(", ");
+        }
+        let _ = write!(fields, "p{i}");
+        let _ = writeln!(writes, "            @hs_write{i} {obj}.p{i} = {i} + 1;");
+        let _ = writeln!(reads, "            @hs_read{i} var r{i} = {obj}.p{i};");
+    }
+    (fields, writes, reads)
+}
+
+/// `cache4j`: a thread-safe object cache with a cleaner thread. Reproduces
+/// the paper's §5.3 bug: the cleaner sets `_sleep = true` **without** the
+/// cache lock and then sleeps; the main thread checks `_sleep` under the
+/// lock and interrupts the cleaner — if the interrupt lands while the
+/// cleaner is in `sleep`, an uncaught `InterruptedException` kills it.
+/// A second real (benign) race is the unprotected `hits` statistics
+/// counter. The remaining predictions are handshake false alarms.
+pub fn cache4j() -> Workload {
+    let (fields, writes, reads) = handshake_fragments("c", 8);
+    let source = format!(
+        r#"
+        class Lock {{ }}
+        class Cache {{ sleepflag, hits, ready, {fields} }}
+        global glock;
+
+        proc cleaner(c, rounds) {{
+            // Wait for cache configuration (handshake: false alarms).
+            var ok = false;
+            while (!ok) {{
+                sync (glock) {{ ok = c.ready; }}
+            }}
+{reads}
+            var i = 0;
+            while (i < rounds) {{
+                // The cache4j bug: _sleep set without the cache lock...
+                @sleep_set c.sleepflag = true;
+                // ...then an interruptible sleep NOT protected by a catch.
+                sleep 5;
+                sync (c) {{ c.sleepflag = false; }}
+                @hits_inc c.hits = c.hits + 1;
+                i = i + 1;
+            }}
+        }}
+
+        proc main() {{
+            glock = new Lock;
+            var c = new Cache;
+            c.sleepflag = false;
+            c.hits = 0;
+            c.ready = false;
+            var t = spawn cleaner(c, 2);
+{writes}
+            sync (glock) {{ c.ready = true; }}
+            var i = 0;
+            while (i < 3) {{
+                sync (c) {{
+                    @sleep_check var s = c.sleepflag;
+                    if (s) {{ interrupt t; }}
+                }}
+                @hits_read var h = c.hits;
+                i = i + 1;
+            }}
+            join t;
+        }}
+        "#
+    );
+    Workload {
+        name: "cache4j",
+        description: "object cache with cleaner thread; _sleep flag race \
+                      causes an uncaught InterruptedException (paper §5.3)",
+        program: cil::compile(&source).expect("cache4j compiles"),
+        entry: "main",
+        paper: PaperRow {
+            sloc: 3_897,
+            hybrid_races: 18,
+            real_races: 2,
+            known_races: None,
+            rf_exceptions: 1,
+            simple_exceptions: 0,
+            probability: Some(1.00),
+        },
+    }
+}
+
+/// `sor`: successive over-relaxation. Two workers update disjoint halves
+/// of a grid, publish completion through lock-protected flags, and then
+/// read each other's half. All eight predicted races (four grid cells in
+/// each direction) are ordered by the handshake — **zero real races**,
+/// matching the paper's row exactly (8 potential, 0 real).
+pub fn sor() -> Workload {
+    let source = r#"
+        class Lock { }
+        global slock;
+        global grid;
+        global a_done = false;
+        global b_done = false;
+
+        proc sor_a() {
+            @aw0 grid[0] = 1;
+            @aw1 grid[1] = 2;
+            @aw2 grid[2] = 3;
+            @aw3 grid[3] = 4;
+            sync (slock) { a_done = true; }
+            var ok = false;
+            while (!ok) { sync (slock) { ok = b_done; } }
+            @ar4 var v4 = grid[4];
+            @ar5 var v5 = grid[5];
+            @ar6 var v6 = grid[6];
+            @ar7 var v7 = grid[7];
+            assert v4 + v5 + v6 + v7 == 26 : "boundary sum";
+        }
+
+        proc sor_b() {
+            @bw4 grid[4] = 5;
+            @bw5 grid[5] = 6;
+            @bw6 grid[6] = 7;
+            @bw7 grid[7] = 8;
+            sync (slock) { b_done = true; }
+            var ok = false;
+            while (!ok) { sync (slock) { ok = a_done; } }
+            @br0 var v0 = grid[0];
+            @br1 var v1 = grid[1];
+            @br2 var v2 = grid[2];
+            @br3 var v3 = grid[3];
+            assert v0 + v1 + v2 + v3 == 10 : "boundary sum";
+        }
+
+        proc main() {
+            slock = new Lock;
+            grid = new [8];
+            var i = 0;
+            while (i < 8) { grid[i] = 0; i = i + 1; }
+            var ta = spawn sor_a();
+            var tb = spawn sor_b();
+            join ta;
+            join tb;
+        }
+    "#;
+    Workload {
+        name: "sor",
+        description: "successive over-relaxation: handshake-ordered halves; \
+                      every prediction is a false alarm (0 real races)",
+        program: cil::compile(source).expect("sor compiles"),
+        entry: "main",
+        paper: PaperRow {
+            sloc: 17_689,
+            hybrid_races: 8,
+            real_races: 0,
+            known_races: Some(0),
+            rf_exceptions: 0,
+            simple_exceptions: 0,
+            probability: None,
+        },
+    }
+}
+
+/// `hedc`: web-crawler kernel. The real bug: the main thread publishes a
+/// task result object with no synchronization; the worker reads it after a
+/// prologue and dereferences it — resolving the race read-first yields a
+/// `NullPointerException`. Metadata fields published through a proper
+/// handshake provide the eight false alarms.
+pub fn hedc() -> Workload {
+    let (fields, writes, reads) = handshake_fragments("task", 8);
+    let source = format!(
+        r#"
+        class Lock {{ }}
+        class Task {{ result, ready, {fields} }}
+        class Result {{ value }}
+        global hlock;
+        global task;
+
+        proc worker() {{
+            var tk = task;
+            // Prologue: local work that keeps the racy read away from the
+            // start of the thread (rarely lost under a plain scheduler).
+            var acc = 0;
+            var i = 0;
+            while (i < 8) {{ acc = acc + i; i = i + 1; }}
+            // The real race: result published without synchronization.
+            @result_read var r = tk.result;
+            var v = r.value;                    // NPE when read wins
+            // Metadata arrives through a proper handshake (false alarms).
+            var ok = false;
+            while (!ok) {{
+                sync (hlock) {{ ok = tk.ready; }}
+            }}
+{reads}
+        }}
+
+        proc main() {{
+            hlock = new Lock;
+            var tk = new Task;
+            tk.ready = false;
+            tk.result = null;
+            task = tk;
+            var t = spawn worker();
+            var res = new Result;
+            res.value = 99;
+            @result_write tk.result = res;
+{writes}
+            sync (hlock) {{ tk.ready = true; }}
+            join t;
+        }}
+        "#
+    );
+    Workload {
+        name: "hedc",
+        description: "web-crawler kernel: unsynchronized result publication \
+                      → NullPointerException; handshake metadata false alarms",
+        program: cil::compile(&source).expect("hedc compiles"),
+        entry: "main",
+        paper: PaperRow {
+            sloc: 29_948,
+            hybrid_races: 9,
+            real_races: 1,
+            known_races: Some(1),
+            rf_exceptions: 1,
+            simple_exceptions: 0,
+            probability: Some(0.86),
+        },
+    }
+}
+
+/// `weblech`: multi-threaded website downloader. The queue is locked, but
+/// a reporter thread reads `qsize` twice without the lock — a stale
+/// re-read between a downloader's pop yields `queue[-1]`
+/// (`ArrayIndexOutOfBoundsException`). The window is short, so even a
+/// plain random scheduler finds the exception occasionally (the paper's
+/// "Simple" column shows 1 for weblech).
+pub fn weblech() -> Workload {
+    let (fields, writes, reads) = handshake_fragments("cfg", 10);
+    let source = format!(
+        r#"
+        class Lock {{ }}
+        class Config {{ ready, {fields} }}
+        global qlock;
+        global queue;
+        global qsize = 0;
+        global cfg;
+
+        proc downloader() {{
+            var ok = false;
+            while (!ok) {{
+                sync (qlock) {{ ok = cfg.ready; }}
+            }}
+{reads}
+            sync (qlock) {{
+                var n = qsize;
+                if (n > 0) {{
+                    @size_dec qsize = n - 1;
+                    var item = queue[n - 1];
+                }}
+            }}
+        }}
+
+        proc reporter() {{
+            // Starts once the spider is configured, like the downloader —
+            // so both threads contend on the queue at the same time.
+            var ok = false;
+            while (!ok) {{
+                sync (qlock) {{ ok = cfg.ready; }}
+            }}
+            @size_peek var s = qsize;
+            if (s > 0) {{
+                // Bug: qsize is re-read without the lock after a status
+                // report; a concurrent pop makes this queue[-1]. The report
+                // formatting widens the window enough that even an
+                // undirected random scheduler occasionally hits it (the
+                // paper's "Simple" column shows 1 for weblech).
+                var report = s * 10;
+                report = report + 1;
+                report = report + 2;
+                report = report + 3;
+                @stale_index var last = queue[qsize - 1];
+            }}
+        }}
+
+        proc main() {{
+            qlock = new Lock;
+            queue = new [4];
+            queue[0] = 7;
+            qsize = 1;
+            cfg = new Config;
+            cfg.ready = false;
+            var d = spawn downloader();
+            var r = spawn reporter();
+{writes}
+            sync (qlock) {{ cfg.ready = true; }}
+            join d;
+            join r;
+        }}
+        "#
+    );
+    Workload {
+        name: "weblech",
+        description: "website downloader: unlocked double-read of the queue \
+                      size → ArrayIndexOutOfBoundsException",
+        program: cil::compile(&source).expect("weblech compiles"),
+        entry: "main",
+        paper: PaperRow {
+            sloc: 35_175,
+            hybrid_races: 27,
+            real_races: 2,
+            known_races: Some(1),
+            rf_exceptions: 1,
+            simple_exceptions: 1,
+            probability: Some(0.83),
+        },
+    }
+}
+
+/// `jspider`: configurable web spider. Plugin configuration is published
+/// through a proper lock-protected handshake; every one of the twelve
+/// predicted races is a false alarm (the paper reports 29 potential,
+/// 0 real).
+pub fn jspider() -> Workload {
+    let (fields, writes, reads) = handshake_fragments("plugin", 12);
+    let source = format!(
+        r#"
+        class Lock {{ }}
+        class Plugin {{ ready, {fields} }}
+        global plock;
+        global plugin;
+
+        proc dispatcher() {{
+            var ok = false;
+            while (!ok) {{
+                sync (plock) {{ ok = plugin.ready; }}
+            }}
+{reads}
+        }}
+
+        proc main() {{
+            plock = new Lock;
+            plugin = new Plugin;
+            plugin.ready = false;
+            var t1 = spawn dispatcher();
+            var t2 = spawn dispatcher();
+{writes}
+            sync (plock) {{ plugin.ready = true; }}
+            join t1;
+            join t2;
+        }}
+        "#
+    );
+    Workload {
+        name: "jspider",
+        description: "web spider: plugin config handshake; all predictions \
+                      are false alarms (0 real races)",
+        program: cil::compile(&source).expect("jspider compiles"),
+        entry: "main",
+        paper: PaperRow {
+            sloc: 64_933,
+            hybrid_races: 29,
+            real_races: 0,
+            known_races: None,
+            rf_exceptions: 0,
+            simple_exceptions: 0,
+            probability: None,
+        },
+    }
+}
+
+/// `jigsaw`: W3C's web server — the paper's largest benchmark (547
+/// potential, 36 real). Modelled at ~1/10 scale, preserving the ratio of
+/// false alarms (40 handshake-published server-configuration fields) to
+/// real benign races (6 unprotected request/connection counters touched by
+/// two handler threads, 2 statement pairs each).
+pub fn jigsaw() -> Workload {
+    let (fields, writes, reads) = handshake_fragments("server", 40);
+    let mut counter_globals = String::new();
+    let mut counter_updates = String::new();
+    for i in 0..6 {
+        let _ = writeln!(counter_globals, "        global counter{i} = 0;");
+        let _ = writeln!(
+            counter_updates,
+            "            @counter_rmw{i} counter{i} = counter{i} + id;"
+        );
+    }
+    let source = format!(
+        r#"
+        class Lock {{ }}
+        class Server {{ ready, {fields} }}
+        global jlock;
+        global server;
+{counter_globals}
+
+        proc handler(id) {{
+            var ok = false;
+            while (!ok) {{
+                sync (jlock) {{ ok = server.ready; }}
+            }}
+{reads}
+            // Request statistics: genuinely unprotected (benign).
+{counter_updates}
+        }}
+
+        proc main() {{
+            jlock = new Lock;
+            server = new Server;
+            server.ready = false;
+            var h1 = spawn handler(1);
+            var h2 = spawn handler(2);
+{writes}
+            sync (jlock) {{ server.ready = true; }}
+            join h1;
+            join h2;
+        }}
+        "#
+    );
+    Workload {
+        name: "jigsaw",
+        description: "W3C web server at ~1/10 scale: 40 handshake false \
+                      alarms + 6 unprotected counters (12 real benign pairs)",
+        program: cil::compile(&source).expect("jigsaw compiles"),
+        entry: "main",
+        paper: PaperRow {
+            sloc: 381_348,
+            hybrid_races: 547,
+            real_races: 36,
+            known_races: None,
+            rf_exceptions: 0,
+            simple_exceptions: 0,
+            probability: Some(0.90),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp::{run_with, Limits, NullObserver, RandomScheduler, Termination};
+
+    #[test]
+    fn apps_compile_and_terminate_under_random_schedules() {
+        for workload in [cache4j(), sor(), hedc(), weblech(), jspider(), jigsaw()] {
+            for seed in 0..3 {
+                let outcome = run_with(
+                    &workload.program,
+                    workload.entry,
+                    &mut RandomScheduler::seeded(seed),
+                    &mut NullObserver,
+                    Limits::default(),
+                )
+                .unwrap();
+                assert_eq!(
+                    outcome.termination,
+                    Termination::AllExited,
+                    "{} seed {seed}",
+                    workload.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sor_asserts_hold_in_all_schedules() {
+        let workload = sor();
+        for seed in 0..10 {
+            let outcome = run_with(
+                &workload.program,
+                workload.entry,
+                &mut RandomScheduler::seeded(seed),
+                &mut NullObserver,
+                Limits::default(),
+            )
+            .unwrap();
+            assert!(
+                outcome.uncaught.is_empty(),
+                "sor must never fail its boundary asserts: seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn weblech_bug_tags_are_accesses() {
+        let program = weblech().program;
+        assert!(program
+            .instr(program.tagged_access("size_dec"))
+            .is_memory_write());
+        // stale_index covers a load of qsize and a load of the element; the
+        // *racy* access of interest is the unlocked qsize load.
+        assert!(!program.tagged("stale_index").is_empty());
+    }
+}

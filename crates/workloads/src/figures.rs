@@ -1,0 +1,113 @@
+//! The paper's worked examples: Figure 1 and Figure 2.
+
+use cil::build::{dsl::*, ProgramBuilder};
+use cil::Program;
+
+/// Figure 1 of the paper: one real race (`z`), one access pair protected by
+/// a common lock (`y`), and one *false* hybrid alarm (`x`, implicitly
+/// synchronized through `y`). ERROR1 is reachable through the real race;
+/// ERROR2 is unreachable.
+///
+/// Tags follow the paper's statement numbering: `s1` (`x = 1`), `s3`
+/// (`y = 1`), `s5` (read of `z`), `s7` (`z = 1`), `s9` (read of `y`),
+/// `s10` (read of `x`).
+pub fn figure1() -> Program {
+    cil::compile(
+        r#"
+        // Figure 1, PLDI 2008: "A program with a real race".
+        class Lock { }
+        global l;
+        global x = 0;
+        global y = 0;
+        global z = 0;
+
+        proc thread1() {
+            @s1 x = 1;                       // 1: x = 1
+            sync (l) { @s3 y = 1; }          // 2-4: lock(L); y = 1; unlock(L)
+            @s5 var t = z;                   // 5: if (z == 1)
+            if (t == 1) { throw Error1; }    // 6: ERROR1
+        }
+
+        proc thread2() {
+            @s7 z = 1;                       // 7: z = 1
+            sync (l) {                       // 8: lock(L)
+                @s9 var t = y;               // 9: if (y == 1)
+                if (t == 1) {
+                    @s10 var u = x;          // 10: if (x != 1)
+                    if (u != 1) { throw Error2; }   // 11: ERROR2
+                }
+            }                                // 14: unlock(L)
+        }
+
+        proc main() {
+            l = new Lock;
+            var t1 = spawn thread1();
+            var t2 = spawn thread2();
+            join t1;
+            join t2;
+        }
+        "#,
+    )
+    .expect("figure 1 compiles")
+}
+
+/// Figure 2 of the paper: a hard-to-reproduce real race. `pad` no-op
+/// statements (the paper's `f1()…f5()`) separate the racing read from the
+/// start of the program, making the race exponentially unlikely under a
+/// plain random scheduler while RaceFuzzer creates it with probability 1.
+///
+/// Tags: `s8` (the racy read of `x`), `s10` (the racy write).
+pub fn figure2(pad: usize) -> Program {
+    let mut builder = ProgramBuilder::new();
+    builder.class("Lock", []);
+    builder.global("l");
+    builder.global_init("x", cil::ast::Literal::Int(0));
+
+    // thread2 = the paper's right column: 10: x = 1; 11-13: lock; f6; unlock.
+    builder.proc_decl(
+        "thread2",
+        [],
+        block([
+            tag("s10", assign_name("x", int(1))),
+            sync(name("l"), block([nop()])),
+        ]),
+    );
+
+    // thread1 = the paper's left column, run by main after the spawn:
+    // 1: lock(L); 2-6: f1()..f5(); 7: unlock(L); 8: if (x == 0) 9: ERROR.
+    let mut stmts = vec![
+        assign_rhs("l", new_object("Lock")),
+        var("t", spawn("thread2", [])),
+    ];
+    let padding: Vec<_> = (0..pad).map(|_| nop()).collect();
+    stmts.push(sync(name("l"), block(padding)));
+    stmts.push(tag("s8", var("v", expr(name("x")))));
+    stmts.push(if_(eq(name("v"), int(0)), block([throw("Error")])));
+    stmts.push(join(name("t")));
+    builder.proc_decl("main", [], block(stmts));
+
+    builder.compile().expect("figure 2 compiles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_has_expected_tags() {
+        let program = figure1();
+        for tag in ["s1", "s3", "s5", "s7", "s9", "s10"] {
+            let access = program.tagged_access(tag);
+            assert!(program.instr(access).is_memory_access(), "{tag}");
+        }
+        assert!(program.instr(program.tagged_access("s1")).is_memory_write());
+        assert!(!program.instr(program.tagged_access("s5")).is_memory_write());
+    }
+
+    #[test]
+    fn figure2_padding_scales_instruction_count() {
+        let small = figure2(1).instr_count();
+        let large = figure2(101).instr_count();
+        assert_eq!(large - small, 100);
+    }
+}

@@ -1,0 +1,56 @@
+//! Umbrella crate for the RaceFuzzer reproduction workspace.
+//!
+//! Re-exports the workspace crates under one name so examples, integration
+//! tests, and downstream users can depend on a single package:
+//!
+//! * [`cil`] — the concurrent intermediate language (parser → checker →
+//!   flat IR),
+//! * [`interp`] — the deterministic interpreter with full scheduler
+//!   control,
+//! * [`detector`] — Phase 1: hybrid / happens-before / lockset race
+//!   prediction,
+//! * [`racefuzzer`] — Phase 2: the race-directed random scheduler
+//!   (the paper's contribution),
+//! * [`workloads`] — CIL models of the paper's Table-1 benchmarks.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use racefuzzer_suite::prelude::*;
+//!
+//! let program = cil::compile(
+//!     r#"
+//!     global x = 0;
+//!     proc child() { x = 1; }
+//!     proc main() {
+//!         var t = spawn child();
+//!         var v = x;
+//!         join t;
+//!     }
+//!     "#,
+//! )
+//! .unwrap();
+//! let report = analyze(&program, "main", &AnalyzeOptions::with_trials(20)).unwrap();
+//! assert_eq!(report.real_races().len(), 1);
+//! ```
+
+pub use cil;
+pub use detector;
+pub use interp;
+pub use racefuzzer;
+pub use vclock;
+pub use workloads;
+
+/// The most common imports for using the two-phase pipeline.
+pub mod prelude {
+    pub use cil;
+    pub use detector::{predict_races, Policy, PredictConfig, RacePair};
+    pub use interp::{
+        run_with, Limits, NullObserver, RandomScheduler, RoundRobinScheduler,
+        RunToBlockScheduler, Termination,
+    };
+    pub use racefuzzer::{
+        analyze, fuzz_pair, fuzz_pair_once, hunt_deadlocks, render_trace, replay,
+        AnalysisReport, AnalyzeOptions, DeadlockOptions, FuzzConfig,
+    };
+}
