@@ -1,0 +1,427 @@
+//! Self-contained failure repro artifacts.
+//!
+//! When a trial fails — panics, blows its step budget, misses its deadline,
+//! or poisons the engine — the campaign persists everything needed to
+//! replay it: the target pair, the full [`FuzzConfig`] including the seed,
+//! and a digest of the program so a stale artifact is rejected instead of
+//! silently replaying against the wrong binary. Replay needs no event log
+//! (paper §2.2: the execution is a pure function of program, race set, and
+//! seed), so the artifact is a few hundred bytes of JSON.
+
+use crate::json::{self, Json};
+use detector::RacePair;
+use racefuzzer::FuzzConfig;
+use std::path::Path;
+use std::time::Duration;
+
+/// Artifact/checkpoint format version, bumped on incompatible change.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// FNV-1a 64-bit digest of a compiled program's code.
+///
+/// Hashes procedure names and boundaries plus the debug rendering of every
+/// instruction — enough to change whenever the compiled code changes, while
+/// ignoring incidental state like interner contents for unused names.
+pub fn program_digest(program: &cil::Program) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for proc in &program.procs {
+        eat(program.name(proc.name).as_bytes());
+        eat(&proc.entry.0.to_le_bytes());
+        eat(&proc.end.0.to_le_bytes());
+        eat(&(proc.param_count as u64).to_le_bytes());
+    }
+    for instr in &program.instrs {
+        eat(format!("{instr:?}").as_bytes());
+        eat(b";");
+    }
+    hash
+}
+
+/// Why a trial failed (harness failures, not program-under-test bugs —
+/// deadlocks and uncaught exceptions are *results*, recorded in the
+/// [`racefuzzer::PairReport`], not failures).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The trial panicked; the payload is the panic message.
+    Panic(String),
+    /// The trial hit its step budget ([`FuzzConfig::max_steps`]).
+    StepBudget,
+    /// The trial hit its wall-clock deadline ([`FuzzConfig::wall_clock`]).
+    Deadline,
+    /// The interpreter detected an internal invariant violation; the
+    /// payload is the rendered [`interp::ExecError`].
+    EngineError(String),
+}
+
+impl FailureKind {
+    /// Stable tag used in artifacts and quarantine reasons.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FailureKind::Panic(_) => "panic",
+            FailureKind::StepBudget => "step_budget",
+            FailureKind::Deadline => "deadline",
+            FailureKind::EngineError(_) => "engine_error",
+        }
+    }
+
+    /// Message payload, if the kind carries one.
+    pub fn message(&self) -> Option<&str> {
+        match self {
+            FailureKind::Panic(message) | FailureKind::EngineError(message) => {
+                Some(message.as_str())
+            }
+            _ => None,
+        }
+    }
+
+    /// `true` if retrying with a larger step budget could plausibly help.
+    pub fn is_budget_related(&self) -> bool {
+        matches!(self, FailureKind::StepBudget | FailureKind::Deadline)
+    }
+
+    fn from_parts(tag: &str, message: Option<&str>) -> Option<FailureKind> {
+        match tag {
+            "panic" => Some(FailureKind::Panic(message.unwrap_or("").to_owned())),
+            "step_budget" => Some(FailureKind::StepBudget),
+            "deadline" => Some(FailureKind::Deadline),
+            "engine_error" => Some(FailureKind::EngineError(
+                message.unwrap_or("").to_owned(),
+            )),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.message() {
+            Some(message) => write!(f, "{}: {message}", self.tag()),
+            None => f.write_str(self.tag()),
+        }
+    }
+}
+
+/// One trial failure, as observed by the campaign driver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrialFailure {
+    /// The pair whose trial failed.
+    pub pair: RacePair,
+    /// The failing trial's seed.
+    pub seed: u64,
+    /// 1-based attempt number (first run = 1, first retry = 2, …).
+    pub attempt: u32,
+    /// The step budget in force when the failure happened.
+    pub step_budget: u64,
+    /// What happened.
+    pub kind: FailureKind,
+}
+
+/// Everything needed to replay one failed trial, serializable to JSON.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FailureArtifact {
+    /// Campaign job name (e.g. the workload name).
+    pub job: String,
+    /// Entry procedure.
+    pub entry: String,
+    /// [`program_digest`] of the program the failure was observed on.
+    pub program_digest: u64,
+    /// The target pair.
+    pub pair: RacePair,
+    /// The failing seed.
+    pub seed: u64,
+    /// Attempt number at which this failure was recorded.
+    pub attempt: u32,
+    /// What happened.
+    pub kind: FailureKind,
+    /// Scheduler configuration of the failing trial. `seed` and the step
+    /// budget live here too; the artifact replays with `wall_clock = None`
+    /// (machine-dependent; see [`FuzzConfig::wall_clock`]) — the original
+    /// value is preserved in `wall_clock_ms` for the record.
+    pub max_steps: u64,
+    /// [`FuzzConfig::postpone_limit`] of the failing trial.
+    pub postpone_limit: u64,
+    /// [`FuzzConfig::location_precise`] of the failing trial.
+    pub location_precise: bool,
+    /// [`FuzzConfig::switch_only_at_sync`] of the failing trial.
+    pub switch_only_at_sync: bool,
+    /// Original wall-clock budget in milliseconds, if any.
+    pub wall_clock_ms: Option<u64>,
+}
+
+impl FailureArtifact {
+    /// The deterministic replay configuration: identical to the failing
+    /// trial except the machine-dependent wall-clock budget is dropped.
+    pub fn fuzz_config(&self) -> FuzzConfig {
+        FuzzConfig {
+            seed: self.seed,
+            max_steps: self.max_steps,
+            wall_clock: None,
+            postpone_limit: self.postpone_limit,
+            record_schedule: false,
+            location_precise: self.location_precise,
+            switch_only_at_sync: self.switch_only_at_sync,
+        }
+    }
+
+    /// Serializes to the JSON object form.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("format_version", Json::u64(FORMAT_VERSION)),
+            ("job", Json::str(&self.job)),
+            ("entry", Json::str(&self.entry)),
+            ("program_digest", Json::Str(format!("{:016x}", self.program_digest))),
+            (
+                "pair",
+                Json::Arr(vec![
+                    Json::u64(u64::from(self.pair.first().0)),
+                    Json::u64(u64::from(self.pair.second().0)),
+                ]),
+            ),
+            ("seed", Json::u64(self.seed)),
+            ("attempt", Json::u64(u64::from(self.attempt))),
+            ("kind", Json::str(self.kind.tag())),
+            (
+                "message",
+                match self.kind.message() {
+                    Some(message) => Json::str(message),
+                    None => Json::Null,
+                },
+            ),
+            ("max_steps", Json::u64(self.max_steps)),
+            ("postpone_limit", Json::u64(self.postpone_limit)),
+            ("location_precise", Json::Bool(self.location_precise)),
+            ("switch_only_at_sync", Json::Bool(self.switch_only_at_sync)),
+            (
+                "wall_clock_ms",
+                match self.wall_clock_ms {
+                    Some(ms) => Json::u64(ms),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Deserializes from the JSON object form.
+    pub fn from_json(value: &Json) -> Result<FailureArtifact, ArtifactError> {
+        let field = |key: &str| {
+            value
+                .get(key)
+                .ok_or_else(|| ArtifactError::Malformed(format!("missing field '{key}'")))
+        };
+        let version = field("format_version")?
+            .as_u64()
+            .ok_or_else(|| ArtifactError::Malformed("bad format_version".into()))?;
+        if version != FORMAT_VERSION {
+            return Err(ArtifactError::VersionMismatch {
+                found: version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        let digest_text = field("program_digest")?
+            .as_str()
+            .ok_or_else(|| ArtifactError::Malformed("bad program_digest".into()))?;
+        let program_digest = u64::from_str_radix(digest_text, 16)
+            .map_err(|_| ArtifactError::Malformed("bad program_digest".into()))?;
+        let pair_items = field("pair")?
+            .as_arr()
+            .filter(|items| items.len() == 2)
+            .ok_or_else(|| ArtifactError::Malformed("bad pair".into()))?;
+        let first = pair_items[0]
+            .as_u32()
+            .ok_or_else(|| ArtifactError::Malformed("bad pair".into()))?;
+        let second = pair_items[1]
+            .as_u32()
+            .ok_or_else(|| ArtifactError::Malformed("bad pair".into()))?;
+        let kind_tag = field("kind")?
+            .as_str()
+            .ok_or_else(|| ArtifactError::Malformed("bad kind".into()))?;
+        let message = value.get("message").and_then(Json::as_str);
+        let kind = FailureKind::from_parts(kind_tag, message)
+            .ok_or_else(|| ArtifactError::Malformed(format!("unknown kind '{kind_tag}'")))?;
+        let req_u64 = |key: &str| -> Result<u64, ArtifactError> {
+            field(key)?
+                .as_u64()
+                .ok_or_else(|| ArtifactError::Malformed(format!("bad field '{key}'")))
+        };
+        let req_bool = |key: &str| -> Result<bool, ArtifactError> {
+            field(key)?
+                .as_bool()
+                .ok_or_else(|| ArtifactError::Malformed(format!("bad field '{key}'")))
+        };
+        Ok(FailureArtifact {
+            job: field("job")?
+                .as_str()
+                .ok_or_else(|| ArtifactError::Malformed("bad job".into()))?
+                .to_owned(),
+            entry: field("entry")?
+                .as_str()
+                .ok_or_else(|| ArtifactError::Malformed("bad entry".into()))?
+                .to_owned(),
+            program_digest,
+            pair: RacePair::new(cil::flat::InstrId(first), cil::flat::InstrId(second)),
+            seed: req_u64("seed")?,
+            attempt: u32::try_from(req_u64("attempt")?)
+                .map_err(|_| ArtifactError::Malformed("bad attempt".into()))?,
+            kind,
+            max_steps: req_u64("max_steps")?,
+            postpone_limit: req_u64("postpone_limit")?,
+            location_precise: req_bool("location_precise")?,
+            switch_only_at_sync: req_bool("switch_only_at_sync")?,
+            wall_clock_ms: value.get("wall_clock_ms").and_then(Json::as_u64),
+        })
+    }
+
+    /// Writes the artifact as JSON text to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Io`] on filesystem failure.
+    pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
+        std::fs::write(path, self.to_json().to_text())
+            .map_err(|error| ArtifactError::Io(error.to_string()))
+    }
+
+    /// Reads an artifact back from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError`] if the file is unreadable, unparsable, or
+    /// from a different format version.
+    pub fn load(path: &Path) -> Result<FailureArtifact, ArtifactError> {
+        let text =
+            std::fs::read_to_string(path).map_err(|error| ArtifactError::Io(error.to_string()))?;
+        let value = json::parse(&text).map_err(|error| ArtifactError::Malformed(error.to_string()))?;
+        FailureArtifact::from_json(&value)
+    }
+
+    /// Canonical artifact file name for this failure.
+    pub fn file_name(&self) -> String {
+        format!(
+            "{}-pair{}-{}-seed{}.json",
+            self.job,
+            self.pair.first().0,
+            self.pair.second().0,
+            self.seed
+        )
+    }
+}
+
+/// Errors loading or validating an artifact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// Filesystem failure (message from [`std::io::Error`]).
+    Io(String),
+    /// Unparsable or structurally invalid JSON.
+    Malformed(String),
+    /// Written by a different artifact format version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u64,
+        /// Version this build writes.
+        expected: u64,
+    },
+    /// The artifact's program digest does not match the program supplied
+    /// for replay.
+    DigestMismatch {
+        /// Digest recorded in the artifact.
+        artifact: u64,
+        /// Digest of the supplied program.
+        program: u64,
+    },
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Io(message) => write!(f, "artifact I/O error: {message}"),
+            ArtifactError::Malformed(message) => write!(f, "malformed artifact: {message}"),
+            ArtifactError::VersionMismatch { found, expected } => write!(
+                f,
+                "artifact format version {found} (this build reads {expected})"
+            ),
+            ArtifactError::DigestMismatch { artifact, program } => write!(
+                f,
+                "artifact was recorded on program {artifact:016x}, got {program:016x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// Converts an optional wall-clock budget to whole milliseconds.
+pub(crate) fn duration_ms(duration: Option<Duration>) -> Option<u64> {
+    duration.map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cil::flat::InstrId;
+
+    fn sample() -> FailureArtifact {
+        FailureArtifact {
+            job: "figure1".to_owned(),
+            entry: "main".to_owned(),
+            program_digest: 0x00ab_cdef_0123_4567,
+            pair: RacePair::new(InstrId(3), InstrId(17)),
+            seed: 42,
+            attempt: 2,
+            kind: FailureKind::Panic("index out of bounds: the len is 0".to_owned()),
+            max_steps: 4096,
+            postpone_limit: 20_000,
+            location_precise: true,
+            switch_only_at_sync: false,
+            wall_clock_ms: Some(250),
+        }
+    }
+
+    #[test]
+    fn artifact_round_trips_through_json() {
+        let artifact = sample();
+        let text = artifact.to_json().to_text();
+        let parsed = FailureArtifact::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, artifact);
+    }
+
+    #[test]
+    fn kinds_without_messages_round_trip() {
+        for kind in [FailureKind::StepBudget, FailureKind::Deadline] {
+            let artifact = FailureArtifact {
+                kind: kind.clone(),
+                ..sample()
+            };
+            let text = artifact.to_json().to_text();
+            let parsed =
+                FailureArtifact::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+            assert_eq!(parsed.kind, kind);
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut value = sample().to_json();
+        if let Json::Obj(fields) = &mut value {
+            fields[0].1 = Json::u64(FORMAT_VERSION + 1);
+        }
+        assert!(matches!(
+            FailureArtifact::from_json(&value),
+            Err(ArtifactError::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn digest_tracks_code_changes() {
+        let one = cil::compile("global x = 0; proc main() { x = 1; }").unwrap();
+        let two = cil::compile("global x = 0; proc main() { x = 2; }").unwrap();
+        let one_again = cil::compile("global x = 0; proc main() { x = 1; }").unwrap();
+        assert_ne!(program_digest(&one), program_digest(&two));
+        assert_eq!(program_digest(&one), program_digest(&one_again));
+    }
+}

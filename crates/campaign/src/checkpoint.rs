@@ -1,0 +1,482 @@
+//! Campaign checkpointing: atomic save after every pair, resume on load.
+//!
+//! The checkpoint records the campaign's full cursor — which jobs have
+//! predicted, which pairs are fuzzed, every completed [`PairReport`],
+//! quarantine decisions, and trial failures — so a killed campaign resumed
+//! from disk finishes with reports identical to an uninterrupted run. The
+//! write is atomic (temp file + rename) so a crash mid-checkpoint leaves
+//! the previous checkpoint intact, never a torn file.
+//!
+//! Granularity is one pair: a kill mid-pair loses only that pair's trials,
+//! and re-running them is deterministic (seeds are `base_seed + trial`), so
+//! nothing observable changes.
+
+use crate::artifact::{ArtifactError, FailureKind, TrialFailure, FORMAT_VERSION};
+use crate::json::{self, Json};
+use crate::{JobOutcome, QuarantinedPair};
+use cil::flat::InstrId;
+use detector::RacePair;
+use racefuzzer::PairReport;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Header data validated on resume: a checkpoint taken under different
+/// campaign parameters would silently produce different reports, so it is
+/// rejected instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointHeader {
+    /// Trials per pair the checkpointed campaign was running.
+    pub trials_per_pair: usize,
+    /// First trial seed.
+    pub base_seed: u64,
+}
+
+/// A loaded checkpoint: header plus per-job progress.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Campaign parameters at checkpoint time.
+    pub header: CheckpointHeader,
+    /// Per-job progress, in campaign job order.
+    pub jobs: Vec<JobOutcome>,
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint document.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("format_version", Json::u64(FORMAT_VERSION)),
+            ("trials_per_pair", Json::usize(self.header.trials_per_pair)),
+            ("base_seed", Json::u64(self.header.base_seed)),
+            (
+                "jobs",
+                Json::Arr(self.jobs.iter().map(job_to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Deserializes a checkpoint document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError`] on structural or version mismatch.
+    pub fn from_json(value: &Json) -> Result<Checkpoint, ArtifactError> {
+        let version = value
+            .get("format_version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ArtifactError::Malformed("missing format_version".into()))?;
+        if version != FORMAT_VERSION {
+            return Err(ArtifactError::VersionMismatch {
+                found: version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        let header = CheckpointHeader {
+            trials_per_pair: value
+                .get("trials_per_pair")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| ArtifactError::Malformed("bad trials_per_pair".into()))?,
+            base_seed: value
+                .get("base_seed")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ArtifactError::Malformed("bad base_seed".into()))?,
+        };
+        let jobs = value
+            .get("jobs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ArtifactError::Malformed("bad jobs".into()))?
+            .iter()
+            .map(job_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Checkpoint { header, jobs })
+    }
+
+    /// Atomically writes the checkpoint to `path` (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Io`] on filesystem failure.
+    pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json().to_text())
+            .map_err(|error| ArtifactError::Io(error.to_string()))?;
+        std::fs::rename(&tmp, path).map_err(|error| ArtifactError::Io(error.to_string()))
+    }
+
+    /// Loads a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError`] if the file is unreadable or invalid.
+    pub fn load(path: &Path) -> Result<Checkpoint, ArtifactError> {
+        let text =
+            std::fs::read_to_string(path).map_err(|error| ArtifactError::Io(error.to_string()))?;
+        let value =
+            json::parse(&text).map_err(|error| ArtifactError::Malformed(error.to_string()))?;
+        Checkpoint::from_json(&value)
+    }
+}
+
+fn pair_to_json(pair: &RacePair) -> Json {
+    Json::Arr(vec![
+        Json::u64(u64::from(pair.first().0)),
+        Json::u64(u64::from(pair.second().0)),
+    ])
+}
+
+fn pair_from_json(value: &Json) -> Result<RacePair, ArtifactError> {
+    let items = value
+        .as_arr()
+        .filter(|items| items.len() == 2)
+        .ok_or_else(|| ArtifactError::Malformed("bad pair".into()))?;
+    let first = items[0]
+        .as_u32()
+        .ok_or_else(|| ArtifactError::Malformed("bad pair".into()))?;
+    let second = items[1]
+        .as_u32()
+        .ok_or_else(|| ArtifactError::Malformed("bad pair".into()))?;
+    Ok(RacePair::new(InstrId(first), InstrId(second)))
+}
+
+fn opt_u64(value: Option<u64>) -> Json {
+    match value {
+        Some(value) => Json::u64(value),
+        None => Json::Null,
+    }
+}
+
+fn report_to_json(report: &PairReport) -> Json {
+    Json::obj(vec![
+        ("target", pair_to_json(&report.target)),
+        ("trials", Json::usize(report.trials)),
+        ("hits", Json::usize(report.hits)),
+        (
+            "real_pairs",
+            Json::Arr(report.real_pairs.iter().map(pair_to_json).collect()),
+        ),
+        ("exception_trials", Json::usize(report.exception_trials)),
+        (
+            "exceptions",
+            Json::Obj(
+                report
+                    .exceptions
+                    .iter()
+                    .map(|(name, count)| (name.clone(), Json::usize(*count)))
+                    .collect(),
+            ),
+        ),
+        ("deadlock_trials", Json::usize(report.deadlock_trials)),
+        ("first_hit_seed", opt_u64(report.first_hit_seed)),
+        (
+            "first_exception_seed",
+            opt_u64(report.first_exception_seed),
+        ),
+    ])
+}
+
+fn report_from_json(value: &Json) -> Result<PairReport, ArtifactError> {
+    let field = |key: &str| {
+        value
+            .get(key)
+            .ok_or_else(|| ArtifactError::Malformed(format!("report missing '{key}'")))
+    };
+    let usize_field = |key: &str| -> Result<usize, ArtifactError> {
+        field(key)?
+            .as_usize()
+            .ok_or_else(|| ArtifactError::Malformed(format!("bad report field '{key}'")))
+    };
+    let real_pairs: BTreeSet<RacePair> = field("real_pairs")?
+        .as_arr()
+        .ok_or_else(|| ArtifactError::Malformed("bad real_pairs".into()))?
+        .iter()
+        .map(pair_from_json)
+        .collect::<Result<_, _>>()?;
+    let exceptions: BTreeMap<String, usize> = match field("exceptions")? {
+        Json::Obj(fields) => fields
+            .iter()
+            .map(|(name, count)| {
+                count
+                    .as_usize()
+                    .map(|count| (name.clone(), count))
+                    .ok_or_else(|| ArtifactError::Malformed("bad exception count".into()))
+            })
+            .collect::<Result<_, _>>()?,
+        _ => return Err(ArtifactError::Malformed("bad exceptions".into())),
+    };
+    let mut report = PairReport::empty(pair_from_json(field("target")?)?);
+    report.trials = usize_field("trials")?;
+    report.hits = usize_field("hits")?;
+    report.real_pairs = real_pairs;
+    report.exception_trials = usize_field("exception_trials")?;
+    report.exceptions = exceptions;
+    report.deadlock_trials = usize_field("deadlock_trials")?;
+    report.first_hit_seed = value.get("first_hit_seed").and_then(Json::as_u64);
+    report.first_exception_seed = value.get("first_exception_seed").and_then(Json::as_u64);
+    Ok(report)
+}
+
+fn failure_to_json(failure: &TrialFailure) -> Json {
+    Json::obj(vec![
+        ("pair", pair_to_json(&failure.pair)),
+        ("seed", Json::u64(failure.seed)),
+        ("attempt", Json::u64(u64::from(failure.attempt))),
+        ("step_budget", Json::u64(failure.step_budget)),
+        ("kind", Json::str(failure.kind.tag())),
+        (
+            "message",
+            match failure.kind.message() {
+                Some(message) => Json::str(message),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+fn failure_from_json(value: &Json) -> Result<TrialFailure, ArtifactError> {
+    let kind_tag = value
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ArtifactError::Malformed("bad failure kind".into()))?;
+    let message = value.get("message").and_then(Json::as_str);
+    let kind = failure_kind_from_parts(kind_tag, message)?;
+    Ok(TrialFailure {
+        pair: pair_from_json(
+            value
+                .get("pair")
+                .ok_or_else(|| ArtifactError::Malformed("failure missing pair".into()))?,
+        )?,
+        seed: value
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ArtifactError::Malformed("bad failure seed".into()))?,
+        attempt: value
+            .get("attempt")
+            .and_then(Json::as_u32)
+            .ok_or_else(|| ArtifactError::Malformed("bad failure attempt".into()))?,
+        step_budget: value
+            .get("step_budget")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ArtifactError::Malformed("bad failure step_budget".into()))?,
+        kind,
+    })
+}
+
+fn failure_kind_from_parts(
+    tag: &str,
+    message: Option<&str>,
+) -> Result<FailureKind, ArtifactError> {
+    match tag {
+        "panic" => Ok(FailureKind::Panic(message.unwrap_or("").to_owned())),
+        "step_budget" => Ok(FailureKind::StepBudget),
+        "deadline" => Ok(FailureKind::Deadline),
+        "engine_error" => Ok(FailureKind::EngineError(message.unwrap_or("").to_owned())),
+        _ => Err(ArtifactError::Malformed(format!(
+            "unknown failure kind '{tag}'"
+        ))),
+    }
+}
+
+fn quarantine_to_json(entry: &QuarantinedPair) -> Json {
+    Json::obj(vec![
+        ("pair", pair_to_json(&entry.pair)),
+        ("seed", Json::u64(entry.seed)),
+        ("attempts", Json::u64(u64::from(entry.attempts))),
+        ("reason", Json::str(&entry.reason)),
+    ])
+}
+
+fn quarantine_from_json(value: &Json) -> Result<QuarantinedPair, ArtifactError> {
+    Ok(QuarantinedPair {
+        pair: pair_from_json(
+            value
+                .get("pair")
+                .ok_or_else(|| ArtifactError::Malformed("quarantine missing pair".into()))?,
+        )?,
+        seed: value
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ArtifactError::Malformed("bad quarantine seed".into()))?,
+        attempts: value
+            .get("attempts")
+            .and_then(Json::as_u32)
+            .ok_or_else(|| ArtifactError::Malformed("bad quarantine attempts".into()))?,
+        reason: value
+            .get("reason")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ArtifactError::Malformed("bad quarantine reason".into()))?
+            .to_owned(),
+    })
+}
+
+fn job_to_json(job: &JobOutcome) -> Json {
+    Json::obj(vec![
+        ("name", Json::str(&job.name)),
+        ("entry", Json::str(&job.entry)),
+        (
+            "program_digest",
+            Json::Str(format!("{:016x}", job.program_digest)),
+        ),
+        ("predicted", Json::Bool(job.predicted)),
+        (
+            "potential",
+            Json::Arr(job.potential.iter().map(pair_to_json).collect()),
+        ),
+        (
+            "reports",
+            Json::Arr(job.reports.iter().map(report_to_json).collect()),
+        ),
+        (
+            "quarantined",
+            Json::Arr(job.quarantined.iter().map(quarantine_to_json).collect()),
+        ),
+        (
+            "failures",
+            Json::Arr(job.failures.iter().map(failure_to_json).collect()),
+        ),
+        ("next_pair", Json::usize(job.next_pair)),
+        (
+            "error",
+            match &job.error {
+                Some(message) => Json::str(message),
+                None => Json::Null,
+            },
+        ),
+        ("done", Json::Bool(job.done)),
+    ])
+}
+
+fn job_from_json(value: &Json) -> Result<JobOutcome, ArtifactError> {
+    let field = |key: &str| {
+        value
+            .get(key)
+            .ok_or_else(|| ArtifactError::Malformed(format!("job missing '{key}'")))
+    };
+    let digest_text = field("program_digest")?
+        .as_str()
+        .ok_or_else(|| ArtifactError::Malformed("bad program_digest".into()))?;
+    Ok(JobOutcome {
+        name: field("name")?
+            .as_str()
+            .ok_or_else(|| ArtifactError::Malformed("bad job name".into()))?
+            .to_owned(),
+        entry: field("entry")?
+            .as_str()
+            .ok_or_else(|| ArtifactError::Malformed("bad job entry".into()))?
+            .to_owned(),
+        program_digest: u64::from_str_radix(digest_text, 16)
+            .map_err(|_| ArtifactError::Malformed("bad program_digest".into()))?,
+        predicted: field("predicted")?
+            .as_bool()
+            .ok_or_else(|| ArtifactError::Malformed("bad predicted".into()))?,
+        potential: field("potential")?
+            .as_arr()
+            .ok_or_else(|| ArtifactError::Malformed("bad potential".into()))?
+            .iter()
+            .map(pair_from_json)
+            .collect::<Result<_, _>>()?,
+        reports: field("reports")?
+            .as_arr()
+            .ok_or_else(|| ArtifactError::Malformed("bad reports".into()))?
+            .iter()
+            .map(report_from_json)
+            .collect::<Result<_, _>>()?,
+        quarantined: field("quarantined")?
+            .as_arr()
+            .ok_or_else(|| ArtifactError::Malformed("bad quarantined".into()))?
+            .iter()
+            .map(quarantine_from_json)
+            .collect::<Result<_, _>>()?,
+        failures: field("failures")?
+            .as_arr()
+            .ok_or_else(|| ArtifactError::Malformed("bad failures".into()))?
+            .iter()
+            .map(failure_from_json)
+            .collect::<Result<_, _>>()?,
+        next_pair: field("next_pair")?
+            .as_usize()
+            .ok_or_else(|| ArtifactError::Malformed("bad next_pair".into()))?,
+        error: value.get("error").and_then(Json::as_str).map(str::to_owned),
+        done: field("done")?
+            .as_bool()
+            .ok_or_else(|| ArtifactError::Malformed("bad done".into()))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_job() -> JobOutcome {
+        let pair = RacePair::new(InstrId(2), InstrId(9));
+        let mut report = PairReport::empty(pair);
+        report.trials = 7;
+        report.hits = 3;
+        report.real_pairs.insert(pair);
+        report.exception_trials = 1;
+        report.exceptions.insert("Error1".to_owned(), 1);
+        report.first_hit_seed = Some(4);
+        report.first_exception_seed = Some(6);
+        JobOutcome {
+            name: "figure1".to_owned(),
+            entry: "main".to_owned(),
+            program_digest: 0xdead_beef_0000_1111,
+            predicted: true,
+            potential: vec![pair],
+            reports: vec![report],
+            quarantined: vec![QuarantinedPair {
+                pair,
+                seed: 11,
+                attempts: 3,
+                reason: "step_budget".to_owned(),
+            }],
+            failures: vec![TrialFailure {
+                pair,
+                seed: 11,
+                attempt: 2,
+                step_budget: 2048,
+                kind: FailureKind::Panic("boom".to_owned()),
+            }],
+            next_pair: 1,
+            error: None,
+            done: false,
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let checkpoint = Checkpoint {
+            header: CheckpointHeader {
+                trials_per_pair: 25,
+                base_seed: 1,
+            },
+            jobs: vec![sample_job()],
+        };
+        let text = checkpoint.to_json().to_text();
+        let loaded = Checkpoint::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(loaded.header, checkpoint.header);
+        assert_eq!(
+            format!("{:?}", loaded.jobs),
+            format!("{:?}", checkpoint.jobs)
+        );
+        // Canonical writing: serialize(parse(text)) == text.
+        assert_eq!(loaded.to_json().to_text(), text);
+    }
+
+    #[test]
+    fn atomic_save_then_load() {
+        let dir = std::env::temp_dir().join("campaign-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        let checkpoint = Checkpoint {
+            header: CheckpointHeader {
+                trials_per_pair: 5,
+                base_seed: 9,
+            },
+            jobs: vec![sample_job()],
+        };
+        checkpoint.save(&path).unwrap();
+        assert!(!path.with_extension("tmp").exists());
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.header, checkpoint.header);
+        std::fs::remove_file(&path).ok();
+    }
+}

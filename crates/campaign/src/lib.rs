@@ -1,0 +1,733 @@
+//! Fault-tolerant fuzzing campaigns over the two-phase RaceFuzzer pipeline.
+//!
+//! [`racefuzzer::analyze`] assumes every trial terminates cleanly. At
+//! campaign scale — every predicted pair of every workload, hundreds of
+//! trials each — that assumption fails in exactly the ways the paper's §5
+//! experiments had to survive: a workload model livelocks under one seed, a
+//! scheduler bug panics, a pathological pair never finishes inside any
+//! budget. This crate wraps Phase 1 + Phase 2 in a driver that treats those
+//! events as *data*, not process death:
+//!
+//! * **Panic isolation** — every trial runs under
+//!   [`std::panic::catch_unwind`]; a panicking trial becomes a structured
+//!   [`TrialFailure`] and the campaign keeps going.
+//! * **Trial budgets** — each trial gets a step budget and (optionally) a
+//!   wall-clock deadline; exhaustion is a failure, retried with an
+//!   exponentially larger step budget, and pairs that keep failing are
+//!   **quarantined** with a recorded reason instead of wedging the run.
+//! * **Failure artifacts** — every failure persists a self-contained JSON
+//!   [`FailureArtifact`] (program digest, full config incl. seed, target
+//!   pair, failure kind); [`Campaign::reproduce`] replays it
+//!   deterministically, because an execution is a pure function of
+//!   `(program, race set, config)` (paper §2.2).
+//! * **Checkpoint/resume** — campaign state (completed [`PairReport`]s,
+//!   quarantine decisions, the pair cursor) is written atomically to disk
+//!   after every pair; a killed campaign resumes from the checkpoint and
+//!   finishes with reports identical to an uninterrupted run.
+//!
+//! # Examples
+//!
+//! ```
+//! use campaign::{Campaign, CampaignJob, CampaignOptions};
+//!
+//! let program = cil::compile(
+//!     r#"
+//!     global z = 0;
+//!     proc child() { z = 1; }
+//!     proc main() {
+//!         var t = spawn child();
+//!         if (z == 1) { throw Error1; }
+//!         join t;
+//!     }
+//!     "#,
+//! )
+//! .unwrap();
+//! let jobs = vec![CampaignJob::new("figure1", program, "main")];
+//! let options = CampaignOptions {
+//!     trials_per_pair: 10,
+//!     ..CampaignOptions::default()
+//! };
+//! let report = Campaign::new(jobs, options).run().unwrap();
+//! assert!(report.completed());
+//! assert!(!report.jobs[0].real_races().is_empty());
+//! ```
+
+pub mod artifact;
+pub mod checkpoint;
+pub mod json;
+
+pub use artifact::{
+    program_digest, ArtifactError, FailureArtifact, FailureKind, TrialFailure,
+};
+pub use checkpoint::{Checkpoint, CheckpointHeader};
+
+use detector::{predict_races, PredictConfig, RacePair};
+use interp::SetupError;
+use racefuzzer::{fuzz_pair_once, FuzzConfig, FuzzOutcome, PairReport};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// One unit of campaign work: a compiled program plus its entry procedure.
+#[derive(Clone, Debug)]
+pub struct CampaignJob {
+    /// Job name — used in checkpoints, artifacts, and reports.
+    pub name: String,
+    /// The program under test.
+    pub program: cil::Program,
+    /// Entry procedure for the test driver.
+    pub entry: String,
+}
+
+impl CampaignJob {
+    /// Convenience constructor.
+    pub fn new(name: &str, program: cil::Program, entry: &str) -> Self {
+        CampaignJob {
+            name: name.to_owned(),
+            program,
+            entry: entry.to_owned(),
+        }
+    }
+}
+
+/// Tunables for a campaign run.
+#[derive(Clone, Debug)]
+pub struct CampaignOptions {
+    /// Phase-1 (prediction) configuration.
+    pub predict: PredictConfig,
+    /// Trials per predicted pair (the paper uses 100).
+    pub trials_per_pair: usize,
+    /// Seed of the first trial; trial `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Template for each trial's scheduler configuration. Its `max_steps`
+    /// is the *initial* per-trial step budget; its `wall_clock` (if any) is
+    /// the per-trial deadline. `seed` is overwritten per trial.
+    pub fuzz: FuzzConfig,
+    /// Attempts per trial before the pair is quarantined (first run plus
+    /// retries). Must be at least 1.
+    pub max_attempts: u32,
+    /// Step-budget multiplier applied on each retry.
+    pub backoff_factor: u64,
+    /// Ceiling the growing step budget never exceeds.
+    pub max_step_budget: u64,
+    /// Directory for failure artifacts; `None` disables persistence (the
+    /// failures are still recorded in the report).
+    pub artifact_dir: Option<PathBuf>,
+    /// Checkpoint file; `None` disables checkpoint/resume.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Stop (reporting `interrupted = true`) after this many pairs have
+    /// been completed *by this invocation* — a deterministic interruption
+    /// point for testing resume, and a way to slice long campaigns.
+    pub stop_after_pairs: Option<usize>,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            predict: PredictConfig::default(),
+            trials_per_pair: 100,
+            base_seed: 1,
+            fuzz: FuzzConfig::default(),
+            max_attempts: 3,
+            backoff_factor: 2,
+            max_step_budget: 32_000_000,
+            artifact_dir: None,
+            checkpoint_path: None,
+            stop_after_pairs: None,
+        }
+    }
+}
+
+/// A pair pulled from rotation because its trials kept failing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantinedPair {
+    /// The quarantined pair.
+    pub pair: RacePair,
+    /// Seed of the trial that exhausted its attempts.
+    pub seed: u64,
+    /// Attempts consumed before quarantine.
+    pub attempts: u32,
+    /// Human-readable reason (the final failure, rendered).
+    pub reason: String,
+}
+
+/// Per-job campaign results — also the unit of checkpointing.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// Job name.
+    pub name: String,
+    /// Entry procedure.
+    pub entry: String,
+    /// [`program_digest`] of the job's program (validates resume).
+    pub program_digest: u64,
+    /// `true` once Phase 1 has run (distinguishes "not yet predicted"
+    /// from "predicted zero pairs").
+    pub predicted: bool,
+    /// Phase-1 output.
+    pub potential: Vec<RacePair>,
+    /// Per-pair Phase-2 statistics for completed pairs (parallel prefix of
+    /// `potential`; a quarantined pair's report covers the trials that
+    /// finished before quarantine).
+    pub reports: Vec<PairReport>,
+    /// Pairs pulled from rotation, with reasons.
+    pub quarantined: Vec<QuarantinedPair>,
+    /// Every trial failure observed (including ones later resolved by a
+    /// retry with a larger budget).
+    pub failures: Vec<TrialFailure>,
+    /// Index of the next pair to fuzz (the campaign cursor).
+    pub next_pair: usize,
+    /// Job-level fatal error (bad entry procedure, panicking predictor).
+    pub error: Option<String>,
+    /// `true` once the job needs no more work.
+    pub done: bool,
+}
+
+impl JobOutcome {
+    fn fresh(job: &CampaignJob) -> Self {
+        JobOutcome {
+            name: job.name.clone(),
+            entry: job.entry.clone(),
+            program_digest: program_digest(&job.program),
+            predicted: false,
+            potential: Vec::new(),
+            reports: Vec::new(),
+            quarantined: Vec::new(),
+            failures: Vec::new(),
+            next_pair: 0,
+            error: None,
+            done: false,
+        }
+    }
+
+    /// Pairs confirmed real by the completed trials.
+    pub fn real_races(&self) -> Vec<RacePair> {
+        self.reports
+            .iter()
+            .filter(|report| report.is_real())
+            .map(|report| report.target)
+            .collect()
+    }
+
+    /// `true` if `pair` was quarantined.
+    pub fn is_quarantined(&self, pair: RacePair) -> bool {
+        self.quarantined.iter().any(|entry| entry.pair == pair)
+    }
+}
+
+/// The result of [`Campaign::run`].
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Per-job outcomes, in job order.
+    pub jobs: Vec<JobOutcome>,
+    /// `true` if the run stopped early at [`CampaignOptions::stop_after_pairs`].
+    pub interrupted: bool,
+    /// `true` if progress was restored from a checkpoint.
+    pub resumed: bool,
+}
+
+impl CampaignReport {
+    /// `true` if every job ran to completion (possibly with quarantines or
+    /// job-level errors — those are *recorded* outcomes, not missing work).
+    pub fn completed(&self) -> bool {
+        !self.interrupted && self.jobs.iter().all(|job| job.done)
+    }
+
+    /// Total trial failures across jobs.
+    pub fn failure_count(&self) -> usize {
+        self.jobs.iter().map(|job| job.failures.len()).sum()
+    }
+
+    /// Total quarantined pairs across jobs.
+    pub fn quarantine_count(&self) -> usize {
+        self.jobs.iter().map(|job| job.quarantined.len()).sum()
+    }
+}
+
+/// The trial engine a campaign drives. The default ([`FuzzRunner`]) is the
+/// real Phase-2 scheduler; tests inject runners that panic or spin to
+/// exercise the fault-tolerance paths without corrupting a real engine.
+pub trait TrialRunner {
+    /// Runs one race-directed trial.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetupError`] if `entry` does not name a zero-argument
+    /// procedure.
+    fn run_trial(
+        &mut self,
+        program: &cil::Program,
+        entry: &str,
+        pair: RacePair,
+        config: &FuzzConfig,
+    ) -> Result<FuzzOutcome, SetupError>;
+}
+
+/// The production trial runner: [`racefuzzer::fuzz_pair_once`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FuzzRunner;
+
+impl TrialRunner for FuzzRunner {
+    fn run_trial(
+        &mut self,
+        program: &cil::Program,
+        entry: &str,
+        pair: RacePair,
+        config: &FuzzConfig,
+    ) -> Result<FuzzOutcome, SetupError> {
+        fuzz_pair_once(program, entry, pair, config)
+    }
+}
+
+/// Result of replaying a [`FailureArtifact`].
+#[derive(Debug)]
+pub struct Reproduction {
+    /// The failure the replay produced; `None` if the trial completed
+    /// normally (the failure did not reproduce).
+    pub kind: Option<FailureKind>,
+    /// The trial outcome, when the trial returned one (absent for panics).
+    pub outcome: Option<FuzzOutcome>,
+}
+
+impl Reproduction {
+    /// `true` if the replay reproduced the artifact's recorded failure.
+    pub fn matches(&self, artifact: &FailureArtifact) -> bool {
+        self.kind.as_ref() == Some(&artifact.kind)
+    }
+}
+
+/// A fault-tolerant fuzzing campaign over a set of jobs.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    /// The jobs, in execution order.
+    pub jobs: Vec<CampaignJob>,
+    /// Tunables.
+    pub options: CampaignOptions,
+}
+
+enum Guarded {
+    Completed(FuzzOutcome),
+    Failed(FailureKind, Option<FuzzOutcome>),
+    Setup(String),
+}
+
+impl Campaign {
+    /// Creates a campaign.
+    pub fn new(jobs: Vec<CampaignJob>, options: CampaignOptions) -> Self {
+        Campaign { jobs, options }
+    }
+
+    /// Runs the campaign with the production trial runner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError`] only for filesystem failures writing
+    /// checkpoints or artifacts — trial and job failures are recorded in
+    /// the report, never returned.
+    pub fn run(&self) -> Result<CampaignReport, ArtifactError> {
+        self.run_with(&mut FuzzRunner)
+    }
+
+    /// Runs the campaign with a caller-supplied trial runner.
+    ///
+    /// # Errors
+    ///
+    /// See [`Campaign::run`].
+    pub fn run_with(&self, runner: &mut dyn TrialRunner) -> Result<CampaignReport, ArtifactError> {
+        let (mut jobs, resumed) = self.restore_or_fresh();
+        let mut pairs_this_run = 0usize;
+
+        for index in 0..self.jobs.len() {
+            if jobs[index].done {
+                continue;
+            }
+            let job = &self.jobs[index];
+            let state = &mut jobs[index];
+
+            if !state.predicted {
+                match guarded_predict(job, &self.options.predict) {
+                    Ok(potential) => {
+                        state.potential = potential;
+                        state.predicted = true;
+                    }
+                    Err(message) => {
+                        state.error = Some(message);
+                        state.done = true;
+                        self.save_checkpoint(&jobs)?;
+                        continue;
+                    }
+                }
+                self.save_checkpoint(&jobs)?;
+            }
+
+            while jobs[index].next_pair < jobs[index].potential.len() {
+                let target = jobs[index].potential[jobs[index].next_pair];
+                let fatal = self.fuzz_one_pair(runner, job, &mut jobs[index], target)?;
+                if let Some(message) = fatal {
+                    jobs[index].error = Some(message);
+                    jobs[index].done = true;
+                    self.save_checkpoint(&jobs)?;
+                    break;
+                }
+                jobs[index].next_pair += 1;
+                self.save_checkpoint(&jobs)?;
+                pairs_this_run += 1;
+                if Some(pairs_this_run) == self.options.stop_after_pairs {
+                    return Ok(CampaignReport {
+                        jobs,
+                        interrupted: true,
+                        resumed,
+                    });
+                }
+            }
+
+            if !jobs[index].done {
+                jobs[index].done = true;
+                self.save_checkpoint(&jobs)?;
+            }
+        }
+
+        Ok(CampaignReport {
+            jobs,
+            interrupted: false,
+            resumed,
+        })
+    }
+
+    /// Runs all trials for one pair. Returns `Ok(Some(message))` on a
+    /// job-fatal setup error, `Ok(None)` otherwise.
+    fn fuzz_one_pair(
+        &self,
+        runner: &mut dyn TrialRunner,
+        job: &CampaignJob,
+        state: &mut JobOutcome,
+        target: RacePair,
+    ) -> Result<Option<String>, ArtifactError> {
+        let options = &self.options;
+        let mut report = PairReport::empty(target);
+        let mut quarantine: Option<QuarantinedPair> = None;
+
+        'trials: for trial in 0..options.trials_per_pair {
+            let seed = options.base_seed + trial as u64;
+            let mut budget = options.fuzz.max_steps;
+            let mut attempt: u32 = 1;
+            loop {
+                let config = FuzzConfig {
+                    seed,
+                    max_steps: budget,
+                    ..options.fuzz.clone()
+                };
+                match guarded_trial(runner, &job.program, &job.entry, target, &config) {
+                    Guarded::Completed(outcome) => {
+                        report.absorb(seed, &outcome, &job.program);
+                        break;
+                    }
+                    Guarded::Setup(message) => {
+                        return Ok(Some(format!("setup error: {message}")));
+                    }
+                    Guarded::Failed(kind, _) => {
+                        let failure = TrialFailure {
+                            pair: target,
+                            seed,
+                            attempt,
+                            step_budget: budget,
+                            kind: kind.clone(),
+                        };
+                        self.persist_artifact(job, state, &failure)?;
+                        state.failures.push(failure);
+                        if attempt >= options.max_attempts.max(1) {
+                            quarantine = Some(QuarantinedPair {
+                                pair: target,
+                                seed,
+                                attempts: attempt,
+                                reason: kind.to_string(),
+                            });
+                            break 'trials;
+                        }
+                        attempt += 1;
+                        budget = budget
+                            .saturating_mul(options.backoff_factor.max(1))
+                            .min(options.max_step_budget);
+                    }
+                }
+            }
+        }
+
+        state.reports.push(report);
+        if let Some(entry) = quarantine {
+            state.quarantined.push(entry);
+        }
+        Ok(None)
+    }
+
+    fn persist_artifact(
+        &self,
+        job: &CampaignJob,
+        state: &JobOutcome,
+        failure: &TrialFailure,
+    ) -> Result<(), ArtifactError> {
+        let Some(dir) = &self.options.artifact_dir else {
+            return Ok(());
+        };
+        std::fs::create_dir_all(dir).map_err(|error| ArtifactError::Io(error.to_string()))?;
+        let artifact = FailureArtifact {
+            job: state.name.clone(),
+            entry: job.entry.clone(),
+            program_digest: state.program_digest,
+            pair: failure.pair,
+            seed: failure.seed,
+            attempt: failure.attempt,
+            kind: failure.kind.clone(),
+            max_steps: failure.step_budget,
+            postpone_limit: self.options.fuzz.postpone_limit,
+            location_precise: self.options.fuzz.location_precise,
+            switch_only_at_sync: self.options.fuzz.switch_only_at_sync,
+            wall_clock_ms: artifact::duration_ms(self.options.fuzz.wall_clock),
+        };
+        // Later attempts overwrite earlier ones: one artifact per failing
+        // (pair, seed), always describing the most recent failure.
+        artifact.save(&dir.join(artifact.file_name()))
+    }
+
+    fn restore_or_fresh(&self) -> (Vec<JobOutcome>, bool) {
+        let fresh: Vec<JobOutcome> = self.jobs.iter().map(JobOutcome::fresh).collect();
+        let Some(path) = &self.options.checkpoint_path else {
+            return (fresh, false);
+        };
+        if !path.exists() {
+            return (fresh, false);
+        }
+        let Ok(checkpoint) = Checkpoint::load(path) else {
+            return (fresh, false);
+        };
+        if checkpoint.header
+            != (CheckpointHeader {
+                trials_per_pair: self.options.trials_per_pair,
+                base_seed: self.options.base_seed,
+            })
+        {
+            return (fresh, false);
+        }
+        // Adopt saved progress job-by-job where name and program digest
+        // both match; anything else (renamed job, recompiled program)
+        // starts over — stale progress is worse than repeated work.
+        let mut resumed_any = false;
+        let jobs = fresh
+            .into_iter()
+            .map(|fresh_job| {
+                match checkpoint.jobs.iter().find(|saved| {
+                    saved.name == fresh_job.name
+                        && saved.program_digest == fresh_job.program_digest
+                }) {
+                    Some(saved) => {
+                        resumed_any = true;
+                        saved.clone()
+                    }
+                    None => fresh_job,
+                }
+            })
+            .collect();
+        (jobs, resumed_any)
+    }
+
+    fn save_checkpoint(&self, jobs: &[JobOutcome]) -> Result<(), ArtifactError> {
+        let Some(path) = &self.options.checkpoint_path else {
+            return Ok(());
+        };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|error| ArtifactError::Io(error.to_string()))?;
+            }
+        }
+        Checkpoint {
+            header: CheckpointHeader {
+                trials_per_pair: self.options.trials_per_pair,
+                base_seed: self.options.base_seed,
+            },
+            jobs: jobs.to_vec(),
+        }
+        .save(path)
+    }
+
+    /// Deterministically replays a failure artifact against this campaign's
+    /// job of the same name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::DigestMismatch`] if the job's program is
+    /// not the program the failure was recorded on, or
+    /// [`ArtifactError::Malformed`] if no job matches the artifact's name.
+    pub fn reproduce(&self, artifact: &FailureArtifact) -> Result<Reproduction, ArtifactError> {
+        self.reproduce_with(&mut FuzzRunner, artifact)
+    }
+
+    /// [`Campaign::reproduce`] with a caller-supplied trial runner.
+    ///
+    /// # Errors
+    ///
+    /// See [`Campaign::reproduce`].
+    pub fn reproduce_with(
+        &self,
+        runner: &mut dyn TrialRunner,
+        artifact: &FailureArtifact,
+    ) -> Result<Reproduction, ArtifactError> {
+        let job = self
+            .jobs
+            .iter()
+            .find(|job| job.name == artifact.job)
+            .ok_or_else(|| {
+                ArtifactError::Malformed(format!("campaign has no job named '{}'", artifact.job))
+            })?;
+        reproduce_on(&job.program, &job.entry, runner, artifact)
+    }
+}
+
+/// Replays `artifact` against `program` with `runner`.
+///
+/// The replay uses the artifact's recorded configuration (seed and the step
+/// budget in force at the failure) with the machine-dependent wall-clock
+/// deadline removed, so the result is deterministic.
+///
+/// # Errors
+///
+/// Returns [`ArtifactError::DigestMismatch`] if `program` is not the
+/// program the failure was recorded on.
+pub fn reproduce_on(
+    program: &cil::Program,
+    entry: &str,
+    runner: &mut dyn TrialRunner,
+    artifact: &FailureArtifact,
+) -> Result<Reproduction, ArtifactError> {
+    let digest = program_digest(program);
+    if digest != artifact.program_digest {
+        return Err(ArtifactError::DigestMismatch {
+            artifact: artifact.program_digest,
+            program: digest,
+        });
+    }
+    let config = artifact.fuzz_config();
+    match guarded_trial(runner, program, entry, artifact.pair, &config) {
+        Guarded::Completed(outcome) => Ok(Reproduction {
+            kind: None,
+            outcome: Some(outcome),
+        }),
+        Guarded::Failed(kind, outcome) => Ok(Reproduction {
+            kind: Some(kind),
+            outcome,
+        }),
+        Guarded::Setup(message) => Err(ArtifactError::Malformed(format!(
+            "artifact entry procedure is invalid: {message}"
+        ))),
+    }
+}
+
+fn guarded_trial(
+    runner: &mut dyn TrialRunner,
+    program: &cil::Program,
+    entry: &str,
+    pair: RacePair,
+    config: &FuzzConfig,
+) -> Guarded {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        runner.run_trial(program, entry, pair, config)
+    }));
+    match result {
+        Err(payload) => Guarded::Failed(FailureKind::Panic(panic_message(payload.as_ref())), None),
+        Ok(Err(setup)) => Guarded::Setup(setup.to_string()),
+        Ok(Ok(outcome)) => match &outcome.termination {
+            interp::Termination::StepLimit => {
+                Guarded::Failed(FailureKind::StepBudget, Some(outcome))
+            }
+            interp::Termination::DeadlineExceeded => {
+                Guarded::Failed(FailureKind::Deadline, Some(outcome))
+            }
+            interp::Termination::EngineError(error) => {
+                Guarded::Failed(FailureKind::EngineError(error.to_string()), Some(outcome))
+            }
+            _ => Guarded::Completed(outcome),
+        },
+    }
+}
+
+fn guarded_predict(job: &CampaignJob, predict: &PredictConfig) -> Result<Vec<RacePair>, String> {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        predict_races(&job.program, &job.entry, predict)
+    }));
+    match result {
+        Err(payload) => Err(format!(
+            "prediction panicked: {}",
+            panic_message(payload.as_ref())
+        )),
+        Ok(Err(setup)) => Err(format!("setup error: {setup}")),
+        Ok(Ok(potential)) => Ok(potential),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_owned()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_like() -> cil::Program {
+        cil::compile(
+            r#"
+            global z = 0;
+            proc child() { z = 1; }
+            proc main() {
+                var t = spawn child();
+                if (z == 1) { throw Error1; }
+                join t;
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn healthy_campaign_matches_plain_analyze() {
+        let program = figure1_like();
+        let options = CampaignOptions {
+            trials_per_pair: 20,
+            ..CampaignOptions::default()
+        };
+        let campaign = Campaign::new(
+            vec![CampaignJob::new("fig1", program.clone(), "main")],
+            options,
+        );
+        let report = campaign.run().unwrap();
+        assert!(report.completed());
+        assert!(!report.resumed);
+        assert_eq!(report.failure_count(), 0);
+
+        let plain = racefuzzer::analyze(
+            &program,
+            "main",
+            &racefuzzer::AnalyzeOptions::with_trials(20),
+        )
+        .unwrap();
+        assert_eq!(
+            format!("{:?}", report.jobs[0].reports),
+            format!("{:?}", plain.pairs)
+        );
+    }
+
+    #[test]
+    fn setup_error_is_a_job_error_not_a_crash() {
+        let program = figure1_like();
+        let campaign = Campaign::new(
+            vec![CampaignJob::new("broken", program, "no_such_proc")],
+            CampaignOptions::default(),
+        );
+        let report = campaign.run().unwrap();
+        assert!(report.completed());
+        assert!(report.jobs[0].error.is_some());
+    }
+}

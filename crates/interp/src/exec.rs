@@ -49,6 +49,39 @@ impl fmt::Display for SetupError {
 
 impl std::error::Error for SetupError {}
 
+/// An interpreter invariant violation: the machine reached a state its own
+/// bookkeeping says is impossible. These used to be internal `panic!`s;
+/// they are surfaced as structured values so long fuzzing campaigns can
+/// record the faulty trial and continue instead of dying.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// A `notify`/`notifyall` signalled a thread that was not waiting.
+    SignalledNotWaiting {
+        /// The thread that was signalled.
+        thread: ThreadId,
+    },
+    /// A return or unwind tried to pop a frame from an empty call stack.
+    FrameUnderflow {
+        /// The thread whose stack underflowed.
+        thread: ThreadId,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::SignalledNotWaiting { thread } => {
+                write!(f, "signalled thread {thread:?} was not waiting")
+            }
+            ExecError::FrameUnderflow { thread } => {
+                write!(f, "call stack underflow on thread {thread:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
 /// The result of executing one statement of one thread.
 #[derive(Clone, Debug, PartialEq)]
 pub enum StepResult {
@@ -60,6 +93,9 @@ pub enum StepResult {
     Uncaught(UncaughtException),
     /// The chosen thread was not enabled; nothing happened.
     NotEnabled,
+    /// The interpreter detected an internal invariant violation; the
+    /// machine is poisoned and must not be stepped further.
+    EngineError(ExecError),
 }
 
 /// An exception in flight during one step.
@@ -69,6 +105,7 @@ struct Thrown {
     message: Option<Rc<str>>,
     at: InstrId,
 }
+
 
 /// A running (or finished) program state.
 pub struct Execution<'p> {
@@ -82,6 +119,9 @@ pub struct Execution<'p> {
     steps: u64,
     output: Vec<String>,
     uncaught: Vec<UncaughtException>,
+    /// Set when an interpreter invariant is violated; the machine must not
+    /// be stepped further once poisoned.
+    poisoned: Option<ExecError>,
 }
 
 impl<'p> Execution<'p> {
@@ -124,7 +164,13 @@ impl<'p> Execution<'p> {
             steps: 0,
             output: Vec::new(),
             uncaught: Vec::new(),
+            poisoned: None,
         })
+    }
+
+    /// The invariant violation that poisoned this machine, if any.
+    pub fn engine_error(&self) -> Option<&ExecError> {
+        self.poisoned.as_ref()
     }
 
     /// The program being executed.
@@ -309,6 +355,9 @@ impl<'p> Execution<'p> {
     /// Returns [`StepResult::NotEnabled`] (and changes nothing) if `thread`
     /// is not currently enabled, so schedulers can be written defensively.
     pub fn step(&mut self, thread: ThreadId, observer: &mut dyn Observer) -> StepResult {
+        if let Some(error) = &self.poisoned {
+            return StepResult::EngineError(error.clone());
+        }
         if !self.is_enabled(thread) {
             return StepResult::NotEnabled;
         }
@@ -350,6 +399,9 @@ impl<'p> Execution<'p> {
         let pc = self.threads[thread.index()].frame().pc;
         match self.exec_instr(thread, pc, observer) {
             Ok(exited) => {
+                if let Some(error) = &self.poisoned {
+                    return StepResult::EngineError(error.clone());
+                }
                 if exited {
                     StepResult::Exited
                 } else {
@@ -848,10 +900,10 @@ impl<'p> Execution<'p> {
                         self.release_one(thread, obj, pc, observer);
                     }
                 }
-                let finished = self.threads[thread.index()]
-                    .frames
-                    .pop()
-                    .expect("return pops a frame");
+                let Some(finished) = self.threads[thread.index()].frames.pop() else {
+                    self.poisoned = Some(ExecError::FrameUnderflow { thread });
+                    return Ok(false);
+                };
                 if self.threads[thread.index()].frames.is_empty() {
                     self.finish_thread(thread, None, observer);
                     return Ok(true);
@@ -1007,7 +1059,10 @@ impl<'p> Execution<'p> {
         observer: &mut dyn Observer,
     ) {
         let Status::Waiting { obj, depth } = self.threads[waiter.index()].status else {
-            panic!("signalled thread was not waiting");
+            // Formerly a panic: record the invariant violation and poison
+            // the machine so the driver can report a structured outcome.
+            self.poisoned = Some(ExecError::SignalledNotWaiting { thread: waiter });
+            return;
         };
         let msg = self.next_msg();
         observer.on_event(&Event::Send {
@@ -1107,10 +1162,11 @@ impl<'p> Execution<'p> {
                     }
                 }
             }
-            self.threads[thread.index()]
-                .frames
-                .pop()
-                .expect("unwinding thread has a frame");
+            if self.threads[thread.index()].frames.pop().is_none() {
+                let error = ExecError::FrameUnderflow { thread };
+                self.poisoned = Some(error.clone());
+                return StepResult::EngineError(error);
+            }
             if self.threads[thread.index()].frames.is_empty() {
                 let exception = UncaughtException {
                     thread,

@@ -201,20 +201,49 @@ impl Scheduler for RaposScheduler {
     }
 }
 
-/// Resource limits for a run.
+/// Resource limits for a run: a statement budget plus an optional
+/// wall-clock deadline. Both are per-*run* (per trial, in campaign
+/// terms), so a hung or runaway execution is cut off instead of stalling
+/// the whole testing campaign.
 #[derive(Clone, Copy, Debug)]
 pub struct Limits {
     /// Maximum statements executed before the run is cut off.
     pub max_steps: u64,
+    /// Wall-clock budget for the run; `None` means unbounded. Checked
+    /// every few hundred statements, so very short deadlines overshoot by
+    /// at most one check interval.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl Default for Limits {
     fn default() -> Self {
         Limits {
             max_steps: 2_000_000,
+            deadline: None,
         }
     }
 }
+
+impl Limits {
+    /// A limit of `max_steps` statements and no wall-clock deadline.
+    pub fn steps(max_steps: u64) -> Self {
+        Limits {
+            max_steps,
+            deadline: None,
+        }
+    }
+
+    /// Builder-style: adds a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// How often (in scheduler iterations) the wall-clock deadline is polled.
+/// `Instant::now` is far cheaper than interpreting a statement, but there
+/// is no reason to pay for it on every step.
+pub(crate) const DEADLINE_POLL_INTERVAL: u64 = 256;
 
 /// Why a run stopped.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -225,8 +254,27 @@ pub enum Termination {
     Deadlock(Vec<ThreadId>),
     /// The step limit was hit (livelock or long-running program).
     StepLimit,
+    /// The wall-clock deadline ([`Limits::deadline`]) expired.
+    DeadlineExceeded,
     /// The scheduler returned `None` with threads still enabled.
     SchedulerStopped,
+    /// The interpreter hit an internal invariant violation; the execution
+    /// is poisoned and its results beyond this point are meaningless.
+    EngineError(crate::exec::ExecError),
+}
+
+impl Termination {
+    /// `true` for terminations that mean the *harness* (not the program
+    /// under test) gave up or broke: budget exhaustion or an engine error.
+    /// Campaign drivers treat these as trial failures to retry/quarantine.
+    pub fn is_abnormal(&self) -> bool {
+        matches!(
+            self,
+            Termination::StepLimit
+                | Termination::DeadlineExceeded
+                | Termination::EngineError(_)
+        )
+    }
 }
 
 /// The observable outcome of a complete run.
@@ -285,9 +333,19 @@ pub fn drive(
     observer: &mut dyn Observer,
     limits: Limits,
 ) -> Termination {
+    let started = limits.deadline.map(|_| std::time::Instant::now());
+    let mut iterations: u64 = 0;
     loop {
         if exec.steps() >= limits.max_steps {
             return Termination::StepLimit;
+        }
+        iterations += 1;
+        if iterations.is_multiple_of(DEADLINE_POLL_INTERVAL) {
+            if let (Some(deadline), Some(started)) = (limits.deadline, started) {
+                if started.elapsed() >= deadline {
+                    return Termination::DeadlineExceeded;
+                }
+            }
         }
         let enabled = exec.enabled();
         if enabled.is_empty() {
@@ -302,6 +360,9 @@ pub fn drive(
             return Termination::SchedulerStopped;
         };
         let result = exec.step(choice, observer);
+        if let StepResult::EngineError(error) = result {
+            return Termination::EngineError(error);
+        }
         // A disabled pick is a scheduler bug; skip rather than spin.
         debug_assert_ne!(
             result,
@@ -403,7 +464,7 @@ mod tests {
         let outcome = run_limited(
             "proc main() { while (true) { nop; } }",
             &mut RunToBlockScheduler::new(),
-            Limits { max_steps: 500 },
+            Limits::steps(500),
         );
         assert_eq!(outcome.termination, Termination::StepLimit);
         assert!(outcome.steps <= 500);

@@ -57,10 +57,21 @@ pub fn fuzz_once(
     let mut races: Vec<RealRaceEvent> = Vec::new();
     let mut schedule: Option<Vec<ThreadId>> = config.record_schedule.then(Vec::new);
     let mut decisions: u64 = 0;
+    let started = config.wall_clock.map(|_| std::time::Instant::now());
 
     let termination = loop {
+        if let Some(error) = exec.engine_error() {
+            break Termination::EngineError(error.clone());
+        }
         if exec.steps() >= config.max_steps {
             break Termination::StepLimit;
+        }
+        if decisions.is_multiple_of(256) {
+            if let (Some(budget), Some(started)) = (config.wall_clock, started) {
+                if started.elapsed() >= budget {
+                    break Termination::DeadlineExceeded;
+                }
+            }
         }
         let enabled = exec.enabled();
         if enabled.is_empty() {
@@ -129,7 +140,10 @@ pub fn fuzz_once(
             // §4 optimisation: keep the thread running until the next
             // synchronization operation or RaceSet statement.
             if config.switch_only_at_sync {
-                while exec.steps() < config.max_steps && exec.is_enabled(chosen) {
+                while exec.steps() < config.max_steps
+                    && exec.is_enabled(chosen)
+                    && exec.engine_error().is_none()
+                {
                     let Some(instr) = exec.next_instr(chosen) else {
                         break; // resuming from a wait: a sync point
                     };

@@ -82,6 +82,9 @@ pub fn fuzz_atomicity_once(
     let mut decisions: u64 = 0;
 
     let termination = loop {
+        if let Some(error) = exec.engine_error() {
+            break Termination::EngineError(error.clone());
+        }
         if exec.steps() >= config.max_steps {
             break Termination::StepLimit;
         }

@@ -1,16 +1,24 @@
 //! Configuration for the race-directed random scheduler.
 
+use std::time::Duration;
+
 /// Tunables for one RaceFuzzer execution ([`crate::fuzz_once`]).
 ///
 /// An execution is a pure function of `(program, race set, config)`; in
 /// particular re-running with the same [`FuzzConfig::seed`] replays the
-/// identical schedule (paper §2.2: replay needs no event recording).
+/// identical schedule (paper §2.2: replay needs no event recording). The
+/// one exception is [`FuzzConfig::wall_clock`]: a wall-clock cutoff is
+/// inherently machine-dependent, so campaign drivers record *which* budget
+/// fired and replay with the deterministic step budget.
 #[derive(Clone, Debug)]
 pub struct FuzzConfig {
     /// Seed for every random choice the scheduler makes.
     pub seed: u64,
     /// Hard cap on executed statements (livelock/step-limit safety net).
     pub max_steps: u64,
+    /// Wall-clock budget for the execution; `None` means unbounded.
+    /// Polled every few hundred scheduler decisions.
+    pub wall_clock: Option<Duration>,
     /// Evict a thread from the postponed set after it has been postponed
     /// for this many scheduler decisions — the paper's §4 monitor that
     /// breaks livelocks caused by postponing (e.g. a peer spinning on a
@@ -41,6 +49,7 @@ impl Default for FuzzConfig {
         FuzzConfig {
             seed: 0,
             max_steps: 2_000_000,
+            wall_clock: None,
             postpone_limit: 20_000,
             record_schedule: false,
             location_precise: true,

@@ -72,6 +72,49 @@ pub struct PairReport {
 }
 
 impl PairReport {
+    /// A report for `target` with no trials absorbed yet.
+    pub fn empty(target: RacePair) -> Self {
+        PairReport {
+            target,
+            trials: 0,
+            hits: 0,
+            real_pairs: BTreeSet::new(),
+            exception_trials: 0,
+            exceptions: BTreeMap::new(),
+            deadlock_trials: 0,
+            first_hit_seed: None,
+            first_exception_seed: None,
+        }
+    }
+
+    /// Folds one trial's outcome into the running statistics.
+    ///
+    /// [`fuzz_pair`] calls this once per trial; incremental drivers (e.g.
+    /// a checkpointing campaign) call it as each trial completes, in seed
+    /// order, and get byte-identical reports.
+    pub fn absorb(&mut self, seed: u64, outcome: &crate::FuzzOutcome, program: &cil::Program) {
+        self.trials += 1;
+        if outcome.race_created() {
+            self.hits += 1;
+            self.real_pairs.extend(outcome.real_pairs());
+            self.first_hit_seed.get_or_insert(seed);
+        }
+        if !outcome.uncaught.is_empty() {
+            self.exception_trials += 1;
+            self.first_exception_seed.get_or_insert(seed);
+            let mut names: BTreeSet<String> = BTreeSet::new();
+            for exception in &outcome.uncaught {
+                names.insert(program.name(exception.name).to_owned());
+            }
+            for name in names {
+                *self.exceptions.entry(name).or_insert(0) += 1;
+            }
+        }
+        if outcome.deadlocked() {
+            self.deadlock_trials += 1;
+        }
+    }
+
     /// Estimated probability that a trial creates the race (Table 1,
     /// column 11).
     pub fn hit_probability(&self) -> f64 {
@@ -159,17 +202,7 @@ pub fn fuzz_pair(
     base_seed: u64,
     template: &FuzzConfig,
 ) -> Result<PairReport, SetupError> {
-    let mut report = PairReport {
-        target,
-        trials,
-        hits: 0,
-        real_pairs: BTreeSet::new(),
-        exception_trials: 0,
-        exceptions: BTreeMap::new(),
-        deadlock_trials: 0,
-        first_hit_seed: None,
-        first_exception_seed: None,
-    };
+    let mut report = PairReport::empty(target);
     for trial in 0..trials {
         let seed = base_seed + trial as u64;
         let config = FuzzConfig {
@@ -177,25 +210,7 @@ pub fn fuzz_pair(
             ..template.clone()
         };
         let outcome = fuzz_pair_once(program, entry, target, &config)?;
-        if outcome.race_created() {
-            report.hits += 1;
-            report.real_pairs.extend(outcome.real_pairs());
-            report.first_hit_seed.get_or_insert(seed);
-        }
-        if !outcome.uncaught.is_empty() {
-            report.exception_trials += 1;
-            report.first_exception_seed.get_or_insert(seed);
-            let mut names: BTreeSet<String> = BTreeSet::new();
-            for exception in &outcome.uncaught {
-                names.insert(program.name(exception.name).to_owned());
-            }
-            for name in names {
-                *report.exceptions.entry(name).or_insert(0) += 1;
-            }
-        }
-        if outcome.deadlocked() {
-            report.deadlock_trials += 1;
-        }
+        report.absorb(seed, &outcome, program);
     }
     Ok(report)
 }

@@ -11,7 +11,9 @@
 //!   prediction,
 //! * [`racefuzzer`] — Phase 2: the race-directed random scheduler
 //!   (the paper's contribution),
-//! * [`workloads`] — CIL models of the paper's Table-1 benchmarks.
+//! * [`workloads`] — CIL models of the paper's Table-1 benchmarks,
+//! * [`campaign`] — fault-tolerant campaign driver: panic isolation,
+//!   trial budgets, failure artifacts, checkpoint/resume.
 //!
 //! # Quickstart
 //!
@@ -34,6 +36,7 @@
 //! assert_eq!(report.real_races().len(), 1);
 //! ```
 
+pub use campaign;
 pub use cil;
 pub use detector;
 pub use interp;
@@ -43,6 +46,9 @@ pub use workloads;
 
 /// The most common imports for using the two-phase pipeline.
 pub mod prelude {
+    pub use campaign::{
+        Campaign, CampaignJob, CampaignOptions, CampaignReport, FailureArtifact, FailureKind,
+    };
     pub use cil;
     pub use detector::{predict_races, Policy, PredictConfig, RacePair};
     pub use interp::{

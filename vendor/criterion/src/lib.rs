@@ -1,0 +1,173 @@
+//! A tiny, self-contained re-implementation of the subset of the
+//! [criterion](https://crates.io/crates/criterion) API used by this
+//! workspace, vendored so the workspace builds without network access.
+//!
+//! Benchmarks run a short warm-up, then time `sample_size` batches and
+//! print the per-iteration mean and min to stdout. There is no HTML
+//! report, statistical analysis, or regression detection — just honest
+//! wall-clock numbers suitable for eyeballing relative overheads.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for benchmark bodies.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id, rendered as `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Conversion into a rendered benchmark id (accepts `&str` too).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_text(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_text(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_text(self) -> String {
+        self.to_string()
+    }
+}
+
+/// Passed to benchmark closures; its [`Bencher::iter`] times the workload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_text();
+        // Warm-up and calibration: aim for ~5ms per sample, at least 1 iter.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        body(&mut bencher);
+        let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(5).as_nanos() / per_iter.as_nanos()).max(1) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            body(&mut bencher);
+            total += bencher.elapsed;
+            total_iters += iters;
+            let sample_mean = bencher.elapsed / iters as u32;
+            if sample_mean < best {
+                best = sample_mean;
+            }
+        }
+        let mean = if total_iters > 0 {
+            total / total_iters as u32
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "{}/{}: mean {:?}  min {:?}  ({} samples x {} iters)",
+            self.name, id, mean, best, self.sample_size, iters
+        );
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Runs and reports one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, body);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,462 @@
+//! A small, self-contained re-implementation of the subset of the
+//! [proptest](https://crates.io/crates/proptest) API that this workspace
+//! uses, vendored so the workspace builds without network access.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs via the
+//!   panic message (all inputs are `Debug` in practice) but is not reduced.
+//! * **Deterministic seeding.** Each property derives its RNG seed from the
+//!   test's module path and name, so runs are reproducible across
+//!   invocations and machines (handy for CI).
+//! * **Regex strategies** support the subset actually used here: literal
+//!   characters, `.`, character classes with ranges (`[a-z0-9]`, `[ -~]`),
+//!   and `{m}` / `{m,n}` quantifiers.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+/// Why a single generated test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` / a filter; it does not
+    /// count toward the case budget.
+    Reject(String),
+    /// A `prop_assert!`-family assertion failed.
+    Fail(String),
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` successful cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// SplitMix64: tiny, fast, and good enough for test-input generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from an arbitrary string (module path + test
+    /// name), so every property gets a distinct but stable stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` > 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is irrelevant for test generation purposes.
+        self.next_u64() % bound
+    }
+
+    /// Fair coin.
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 0
+    }
+}
+
+/// The most common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// `any::<T>()`
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.coin()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mostly printable ASCII with occasional exotica.
+        match rng.below(10) {
+            0 => char::from_u32(rng.below(0xD800) as u32).unwrap_or('\u{FFFD}'),
+            1 => ['\0', '\n', '\t', '\u{7f}', 'é', '\u{1F980}'][rng.below(6) as usize],
+            _ => (b' ' + rng.below(95) as u8) as char,
+        }
+    }
+}
+
+/// Strategy producing arbitrary values of `T`.
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: Arbitrary + Debug> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+/// The canonical strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary + Debug>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer-range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                if self.start >= self.end {
+                    return None;
+                }
+                let span = (self.end as i128 - self.start as i128) as u64;
+                Some((self.start as i128 + rng.below(span) as i128) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                if self.start() > self.end() {
+                    return None;
+                }
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u64;
+                Some((*self.start() as i128 + rng.below(span) as i128) as $t)
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------------
+// Regex-pattern string strategies (`&str` as a Strategy)
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum CharSet {
+    /// `.` — any character (minus newline in real regexes; we allow a mix).
+    Any,
+    /// `[a-z0-9_]`-style class as inclusive ranges.
+    Ranges(Vec<(char, char)>),
+    /// A literal character.
+    Literal(char),
+}
+
+impl CharSet {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::Any => char::arbitrary(rng),
+            CharSet::Literal(c) => *c,
+            CharSet::Ranges(ranges) => {
+                let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                let span = (hi as u32).saturating_sub(lo as u32) + 1;
+                char::from_u32(lo as u32 + rng.below(u64::from(span)) as u32).unwrap_or(lo)
+            }
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct RegexAtom {
+    set: CharSet,
+    min: u32,
+    max: u32,
+}
+
+/// A compiled regex-subset pattern usable as a `Strategy<Value = String>`.
+#[derive(Clone, Debug)]
+pub struct RegexStrategy {
+    atoms: Vec<RegexAtom>,
+}
+
+fn parse_regex(pattern: &str) -> RegexStrategy {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '.' => CharSet::Any,
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut class: Vec<char> = Vec::new();
+                for inner in chars.by_ref() {
+                    if inner == ']' {
+                        break;
+                    }
+                    class.push(inner);
+                }
+                let mut i = 0;
+                while i < class.len() {
+                    if i + 2 < class.len() && class[i + 1] == '-' {
+                        ranges.push((class[i], class[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((class[i], class[i]));
+                        i += 1;
+                    }
+                }
+                CharSet::Ranges(ranges)
+            }
+            '\\' => CharSet::Literal(chars.next().unwrap_or('\\')),
+            other => CharSet::Literal(other),
+        };
+        // Optional {m} / {m,n} quantifier.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for inner in chars.by_ref() {
+                if inner == '}' {
+                    break;
+                }
+                spec.push(inner);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().unwrap_or(0),
+                    hi.trim().parse().unwrap_or(0),
+                ),
+                None => {
+                    let n = spec.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(RegexAtom { set, min, max });
+    }
+    RegexStrategy { atoms }
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> Option<String> {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let count = atom.min + rng.below(u64::from(atom.max - atom.min) + 1) as u32;
+            for _ in 0..count {
+                out.push(atom.set.sample(rng));
+            }
+        }
+        Some(out)
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> Option<String> {
+        parse_regex(self).generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Runs a block of property tests, mirroring proptest's `proptest! {}`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($pat:pat_param in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng =
+                $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            let mut cases_run: u32 = 0;
+            let mut attempts: u32 = 0;
+            while cases_run < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts < config.cases.saturating_mul(64).saturating_add(4096),
+                    "property `{}`: too many rejected or filtered cases",
+                    stringify!($name),
+                );
+                $(
+                    let $pat = match $crate::Strategy::generate(&($strat), &mut rng) {
+                        Some(value) => value,
+                        None => continue,
+                    };
+                )*
+                let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    { $body }
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                match result {
+                    Ok(()) => cases_run += 1,
+                    Err($crate::TestCaseError::Reject(_)) => {}
+                    Err($crate::TestCaseError::Fail(message)) => {
+                        panic!("property `{}` failed: {}", stringify!($name), message)
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns!{ ($config) $($rest)* }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                left, right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// Rejects (does not fail) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+

@@ -1,0 +1,235 @@
+//! The `Strategy` trait and combinators.
+
+use crate::TestRng;
+use std::fmt::Debug;
+use std::rc::Rc;
+
+/// How many times combinators retry an inner generation that was filtered
+/// out before giving up on the whole case.
+const FILTER_RETRIES: u32 = 64;
+
+/// A generator of values for property tests.
+///
+/// `generate` returns `None` when the value was filtered out (the driver
+/// retries with fresh randomness rather than failing).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value, or `None` if this attempt was filtered out.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, map }
+    }
+
+    /// Keeps only values satisfying `predicate`; `reason` is informational.
+    fn prop_filter<R, F>(self, reason: R, predicate: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            _reason: reason.into(),
+            predicate,
+        }
+    }
+
+    /// Generates recursive structures: `recurse` receives a strategy for
+    /// the sub-structure and returns the strategy for one more layer.
+    ///
+    /// `depth` bounds nesting; `_desired_size` and `_expected_branch_size`
+    /// are accepted for API compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            // One part leaf to two parts recursion keeps generated sizes
+            // interesting without exploding.
+            current = Union::weighted(vec![(1, leaf.clone()), (2, deeper)]).boxed();
+        }
+        current
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(move |rng: &mut TestRng| self.generate(rng)),
+        }
+    }
+}
+
+/// A clonable, type-erased strategy.
+pub struct BoxedStrategy<V> {
+    #[allow(clippy::type_complexity)]
+    inner: Rc<dyn Fn(&mut TestRng) -> Option<V>>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> Option<V> {
+        (self.inner)(rng)
+    }
+}
+
+impl<V> Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.map)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    _reason: String,
+    predicate: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        for _ in 0..FILTER_RETRIES {
+            if let Some(value) = self.inner.generate(rng) {
+                if (self.predicate)(&value) {
+                    return Some(value);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Weighted choice among strategies of a common value type; the engine
+/// behind `prop_oneof!`.
+pub struct Union<V> {
+    cases: Vec<(u32, BoxedStrategy<V>)>,
+    total_weight: u64,
+}
+
+impl<V> Union<V> {
+    /// Uniform choice among `cases`.
+    pub fn new(cases: Vec<BoxedStrategy<V>>) -> Self {
+        Union::weighted(cases.into_iter().map(|case| (1, case)).collect())
+    }
+
+    /// Weighted choice among `cases`.
+    pub fn weighted(cases: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(!cases.is_empty(), "Union requires at least one case");
+        let total_weight = cases.iter().map(|&(weight, _)| u64::from(weight)).sum();
+        Union {
+            cases,
+            total_weight,
+        }
+    }
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union {
+            cases: self.cases.clone(),
+            total_weight: self.total_weight,
+        }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> Option<V> {
+        let mut ticket = rng.below(self.total_weight);
+        for (weight, case) in &self.cases {
+            if ticket < u64::from(*weight) {
+                return case.generate(rng);
+            }
+            ticket -= u64::from(*weight);
+        }
+        unreachable!("ticket always lands inside total_weight")
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                Some(($($name.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
