@@ -15,7 +15,9 @@ use std::path::Path;
 use std::time::Duration;
 
 /// Artifact/checkpoint format version, bumped on incompatible change.
-pub const FORMAT_VERSION: u64 = 1;
+/// Version 2: structured quarantine reasons (`reason` tag + `detail`) and
+/// the per-job `soundness_bugs` list.
+pub const FORMAT_VERSION: u64 = 2;
 
 /// FNV-1a 64-bit digest of a compiled program's code.
 ///

@@ -13,7 +13,8 @@
 
 use crate::artifact::{ArtifactError, FailureKind, TrialFailure, FORMAT_VERSION};
 use crate::json::{self, Json};
-use crate::{JobOutcome, QuarantinedPair};
+use crate::{JobOutcome, QuarantineReason, QuarantinedPair};
+use sana::PruneReason;
 use cil::flat::InstrId;
 use detector::RacePair;
 use racefuzzer::PairReport;
@@ -280,11 +281,32 @@ fn quarantine_to_json(entry: &QuarantinedPair) -> Json {
         ("pair", pair_to_json(&entry.pair)),
         ("seed", Json::u64(entry.seed)),
         ("attempts", Json::u64(u64::from(entry.attempts))),
-        ("reason", Json::str(&entry.reason)),
+        ("reason", Json::str(entry.reason.tag())),
+        ("detail", Json::Str(entry.reason.detail())),
     ])
 }
 
+fn quarantine_reason_from_parts(
+    tag: &str,
+    detail: &str,
+) -> Result<QuarantineReason, ArtifactError> {
+    match tag {
+        "trial_failures" => Ok(QuarantineReason::TrialFailures(detail.to_owned())),
+        "statically_pruned" => PruneReason::from_tag(detail)
+            .map(QuarantineReason::StaticallyPruned)
+            .ok_or_else(|| ArtifactError::Malformed(format!("unknown prune reason '{detail}'"))),
+        _ => Err(ArtifactError::Malformed(format!(
+            "unknown quarantine reason '{tag}'"
+        ))),
+    }
+}
+
 fn quarantine_from_json(value: &Json) -> Result<QuarantinedPair, ArtifactError> {
+    let tag = value
+        .get("reason")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ArtifactError::Malformed("bad quarantine reason".into()))?;
+    let detail = value.get("detail").and_then(Json::as_str).unwrap_or("");
     Ok(QuarantinedPair {
         pair: pair_from_json(
             value
@@ -299,11 +321,7 @@ fn quarantine_from_json(value: &Json) -> Result<QuarantinedPair, ArtifactError> 
             .get("attempts")
             .and_then(Json::as_u32)
             .ok_or_else(|| ArtifactError::Malformed("bad quarantine attempts".into()))?,
-        reason: value
-            .get("reason")
-            .and_then(Json::as_str)
-            .ok_or_else(|| ArtifactError::Malformed("bad quarantine reason".into()))?
-            .to_owned(),
+        reason: quarantine_reason_from_parts(tag, detail)?,
     })
 }
 
@@ -327,6 +345,10 @@ fn job_to_json(job: &JobOutcome) -> Json {
         (
             "quarantined",
             Json::Arr(job.quarantined.iter().map(quarantine_to_json).collect()),
+        ),
+        (
+            "soundness_bugs",
+            Json::Arr(job.soundness_bugs.iter().map(|bug| Json::str(bug)).collect()),
         ),
         (
             "failures",
@@ -385,6 +407,16 @@ fn job_from_json(value: &Json) -> Result<JobOutcome, ArtifactError> {
             .iter()
             .map(quarantine_from_json)
             .collect::<Result<_, _>>()?,
+        soundness_bugs: field("soundness_bugs")?
+            .as_arr()
+            .ok_or_else(|| ArtifactError::Malformed("bad soundness_bugs".into()))?
+            .iter()
+            .map(|bug| {
+                bug.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| ArtifactError::Malformed("bad soundness bug".into()))
+            })
+            .collect::<Result<_, _>>()?,
         failures: field("failures")?
             .as_arr()
             .ok_or_else(|| ArtifactError::Malformed("bad failures".into()))?
@@ -422,12 +454,21 @@ mod tests {
             predicted: true,
             potential: vec![pair],
             reports: vec![report],
-            quarantined: vec![QuarantinedPair {
-                pair,
-                seed: 11,
-                attempts: 3,
-                reason: "step_budget".to_owned(),
-            }],
+            quarantined: vec![
+                QuarantinedPair {
+                    pair,
+                    seed: 11,
+                    attempts: 3,
+                    reason: QuarantineReason::TrialFailures("step_budget".to_owned()),
+                },
+                QuarantinedPair {
+                    pair,
+                    seed: 1,
+                    attempts: 0,
+                    reason: QuarantineReason::StaticallyPruned(PruneReason::MhpImpossible),
+                },
+            ],
+            soundness_bugs: vec!["pair #2/#9 confirmed but refuted".to_owned()],
             failures: vec![TrialFailure {
                 pair,
                 seed: 11,

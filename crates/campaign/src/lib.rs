@@ -64,6 +64,8 @@ pub use checkpoint::{Checkpoint, CheckpointHeader};
 use detector::{predict_races, PredictConfig, RacePair};
 use interp::SetupError;
 use racefuzzer::{fuzz_pair_once, FuzzConfig, FuzzOutcome, PairReport};
+use sana::{PruneReason, StaticRaceFilter};
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 
@@ -87,6 +89,21 @@ impl CampaignJob {
             entry: entry.to_owned(),
         }
     }
+}
+
+/// How the campaign uses the `sana` static pre-analysis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StaticFilterMode {
+    /// No static analysis; every predicted pair is fuzzed.
+    #[default]
+    Off,
+    /// Statically refuted pairs are quarantined (with
+    /// [`QuarantineReason::StaticallyPruned`]) instead of fuzzed.
+    Prune,
+    /// Every pair is fuzzed; a *confirmed* race on a statically refuted
+    /// pair is recorded in [`JobOutcome::soundness_bugs`] — evidence of a
+    /// bug in the static analysis or the dynamic detector.
+    Audit,
 }
 
 /// Tunables for a campaign run.
@@ -118,6 +135,8 @@ pub struct CampaignOptions {
     /// been completed *by this invocation* — a deterministic interruption
     /// point for testing resume, and a way to slice long campaigns.
     pub stop_after_pairs: Option<usize>,
+    /// Static pre-analysis mode (default [`StaticFilterMode::Off`]).
+    pub static_filter: StaticFilterMode,
 }
 
 impl Default for CampaignOptions {
@@ -133,21 +152,62 @@ impl Default for CampaignOptions {
             artifact_dir: None,
             checkpoint_path: None,
             stop_after_pairs: None,
+            static_filter: StaticFilterMode::Off,
         }
     }
 }
 
-/// A pair pulled from rotation because its trials kept failing.
+/// Why a pair was pulled from rotation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// Its trials kept failing (the final failure, rendered).
+    TrialFailures(String),
+    /// The static pre-analysis refuted the pair before any trial ran.
+    StaticallyPruned(PruneReason),
+}
+
+impl QuarantineReason {
+    /// Stable machine-readable tag (checkpoint/artifact `reason` field).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            QuarantineReason::TrialFailures(_) => "trial_failures",
+            QuarantineReason::StaticallyPruned(_) => "statically_pruned",
+        }
+    }
+
+    /// The variant's payload, rendered (checkpoint `detail` field).
+    pub fn detail(&self) -> String {
+        match self {
+            QuarantineReason::TrialFailures(message) => message.clone(),
+            QuarantineReason::StaticallyPruned(reason) => reason.tag().to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarantineReason::TrialFailures(message) => write!(f, "{message}"),
+            QuarantineReason::StaticallyPruned(reason) => {
+                write!(f, "statically pruned: {reason}")
+            }
+        }
+    }
+}
+
+/// A pair pulled from rotation: its trials kept failing, or the static
+/// filter refuted it up front.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QuarantinedPair {
     /// The quarantined pair.
     pub pair: RacePair,
-    /// Seed of the trial that exhausted its attempts.
+    /// Seed of the trial that exhausted its attempts (the campaign's
+    /// `base_seed` for statically pruned pairs, which run no trials).
     pub seed: u64,
-    /// Attempts consumed before quarantine.
+    /// Attempts consumed before quarantine (0 for statically pruned pairs).
     pub attempts: u32,
-    /// Human-readable reason (the final failure, rendered).
-    pub reason: String,
+    /// Why the pair was pulled.
+    pub reason: QuarantineReason,
 }
 
 /// Per-job campaign results — also the unit of checkpointing.
@@ -170,6 +230,10 @@ pub struct JobOutcome {
     pub reports: Vec<PairReport>,
     /// Pairs pulled from rotation, with reasons.
     pub quarantined: Vec<QuarantinedPair>,
+    /// [`StaticFilterMode::Audit`] findings: rendered descriptions of
+    /// confirmed races on statically refuted pairs. A non-empty list means
+    /// the static analysis (or the dynamic detector) has a soundness bug.
+    pub soundness_bugs: Vec<String>,
     /// Every trial failure observed (including ones later resolved by a
     /// retry with a larger budget).
     pub failures: Vec<TrialFailure>,
@@ -191,6 +255,7 @@ impl JobOutcome {
             potential: Vec::new(),
             reports: Vec::new(),
             quarantined: Vec::new(),
+            soundness_bugs: Vec::new(),
             failures: Vec::new(),
             next_pair: 0,
             error: None,
@@ -210,6 +275,18 @@ impl JobOutcome {
     /// `true` if `pair` was quarantined.
     pub fn is_quarantined(&self, pair: RacePair) -> bool {
         self.quarantined.iter().any(|entry| entry.pair == pair)
+    }
+
+    /// Pairs the static filter refuted, with the per-pair refutation
+    /// reason (the campaign's pruning statistics).
+    pub fn statically_pruned(&self) -> Vec<(RacePair, PruneReason)> {
+        self.quarantined
+            .iter()
+            .filter_map(|entry| match &entry.reason {
+                QuarantineReason::StaticallyPruned(reason) => Some((entry.pair, *reason)),
+                QuarantineReason::TrialFailures(_) => None,
+            })
+            .collect()
     }
 }
 
@@ -358,9 +435,54 @@ impl Campaign {
                 self.save_checkpoint(&jobs)?;
             }
 
+            // The static filter is rebuilt (not checkpointed) on resume: it
+            // is a deterministic function of the program, so the rebuilt
+            // filter refutes exactly the pairs the interrupted run refuted.
+            let filter = match self.options.static_filter {
+                StaticFilterMode::Off => None,
+                StaticFilterMode::Prune | StaticFilterMode::Audit => {
+                    StaticRaceFilter::for_entry(&job.program, &job.entry)
+                }
+            };
+
             while jobs[index].next_pair < jobs[index].potential.len() {
                 let target = jobs[index].potential[jobs[index].next_pair];
+                if self.options.static_filter == StaticFilterMode::Prune {
+                    if let Some(reason) =
+                        filter.as_ref().and_then(|f| f.refute(&job.program, &target))
+                    {
+                        // Keep the report slot so `reports` stays a parallel
+                        // prefix of `potential`, but spend no trials.
+                        jobs[index].reports.push(PairReport::empty(target));
+                        jobs[index].quarantined.push(QuarantinedPair {
+                            pair: target,
+                            seed: self.options.base_seed,
+                            attempts: 0,
+                            reason: QuarantineReason::StaticallyPruned(reason),
+                        });
+                        jobs[index].next_pair += 1;
+                        self.save_checkpoint(&jobs)?;
+                        continue;
+                    }
+                }
                 let fatal = self.fuzz_one_pair(runner, job, &mut jobs[index], target)?;
+                if self.options.static_filter == StaticFilterMode::Audit {
+                    let confirmed = jobs[index]
+                        .reports
+                        .last()
+                        .is_some_and(|report| report.target == target && report.is_real());
+                    if confirmed {
+                        if let Some(reason) =
+                            filter.as_ref().and_then(|f| f.refute(&job.program, &target))
+                        {
+                            jobs[index].soundness_bugs.push(format!(
+                                "pair {} was confirmed by fuzzing but statically refuted as {}",
+                                target.describe(&job.program),
+                                reason
+                            ));
+                        }
+                    }
+                }
                 if let Some(message) = fatal {
                     jobs[index].error = Some(message);
                     jobs[index].done = true;
@@ -438,7 +560,7 @@ impl Campaign {
                                 pair: target,
                                 seed,
                                 attempts: attempt,
-                                reason: kind.to_string(),
+                                reason: QuarantineReason::TrialFailures(kind.to_string()),
                             });
                             break 'trials;
                         }

@@ -103,7 +103,7 @@ fn persistent_budget_exhaustion_quarantines_the_pair() {
     assert_eq!(job.quarantined.len(), job.potential.len());
     let quarantine = &job.quarantined[0];
     assert_eq!(quarantine.attempts, 3);
-    assert!(quarantine.reason.contains("step_budget"));
+    assert!(quarantine.reason.to_string().contains("step_budget"));
     assert!(job.is_quarantined(quarantine.pair));
     // The pair's report exists but covers no completed trials.
     assert_eq!(job.reports[0].trials, 0);
@@ -155,8 +155,8 @@ fn panicking_trial_writes_artifact_and_reproduce_replays_it() {
 
     // The cursed seed failed both attempts of the first pair → quarantine…
     assert!(!job.quarantined.is_empty());
-    assert!(job.quarantined[0].reason.contains("panic"));
-    assert!(job.quarantined[0].reason.contains("cursed"));
+    assert!(job.quarantined[0].reason.to_string().contains("panic"));
+    assert!(job.quarantined[0].reason.to_string().contains("cursed"));
     // …but trials with other seeds completed first.
     assert_eq!(job.reports[0].trials, 3); // seeds 1..=3 before 4 failed
     // Every predicted pair hits the cursed seed: two attempts each.
@@ -314,7 +314,7 @@ fn campaign_over_all_workloads_survives_one_bad_workload() {
         if job.name == bad_name {
             assert!(!job.potential.is_empty());
             assert_eq!(job.quarantined.len(), job.potential.len());
-            assert!(job.quarantined[0].reason.contains("always crashes"));
+            assert!(job.quarantined[0].reason.to_string().contains("always crashes"));
         } else {
             assert!(job.quarantined.is_empty(), "{} was quarantined", job.name);
             for pair_report in &job.reports {

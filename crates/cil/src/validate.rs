@@ -6,19 +6,48 @@
 //! execution. The dynamic analyses rely on every one of these properties.
 
 use crate::flat::{Instr, InstrId, LocalId, Program, PureExpr};
+use crate::span::Span;
 
 /// A violated IR invariant.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ValidationError {
     /// The offending instruction.
     pub instr: InstrId,
+    /// Source location of the offending instruction ([`Span::SYNTHETIC`]
+    /// when the instruction has none, e.g. an id past the span table).
+    pub span: Span,
     /// What is wrong with it.
     pub message: String,
 }
 
+impl ValidationError {
+    /// Creates an error for `instr`, resolving its source span from the
+    /// program's span table (synthetic when out of range).
+    pub fn new(program: &Program, instr: InstrId, message: String) -> Self {
+        let span = program
+            .spans
+            .get(instr.index())
+            .copied()
+            .unwrap_or(Span::SYNTHETIC);
+        ValidationError {
+            instr,
+            span,
+            message,
+        }
+    }
+}
+
 impl std::fmt::Display for ValidationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "instruction {}: {}", self.instr, self.message)
+        if self.span == Span::SYNTHETIC {
+            write!(f, "instruction {}: {}", self.instr, self.message)
+        } else {
+            write!(
+                f,
+                "instruction {} at {}: {}",
+                self.instr, self.span, self.message
+            )
+        }
     }
 }
 
@@ -33,10 +62,11 @@ fn check_local(
 ) {
     let count = program.procs[proc_index].local_count();
     if local.index() >= count {
-        errors.push(ValidationError {
+        errors.push(ValidationError::new(
+            program,
             instr,
-            message: format!("local slot {local} out of range (frame has {count})"),
-        });
+            format!("local slot {local} out of range (frame has {count})"),
+        ));
     }
 }
 
@@ -50,9 +80,7 @@ fn check_pure(
     match expr {
         PureExpr::Const(_) => {}
         PureExpr::Local(local) => check_local(program, proc_index, instr, *local, errors),
-        PureExpr::Unary { operand, .. } => {
-            check_pure(program, proc_index, instr, operand, errors)
-        }
+        PureExpr::Unary { operand, .. } => check_pure(program, proc_index, instr, operand, errors),
         PureExpr::Binary { lhs, rhs, .. } => {
             check_pure(program, proc_index, instr, lhs, errors);
             check_pure(program, proc_index, instr, rhs, errors);
@@ -69,10 +97,11 @@ fn check_target(
     errors: &mut Vec<ValidationError>,
 ) {
     if !program.procs[proc_index].contains(target) {
-        errors.push(ValidationError {
+        errors.push(ValidationError::new(
+            program,
             instr,
-            message: format!("jump target {target} escapes the procedure"),
-        });
+            format!("jump target {target} escapes the procedure"),
+        ));
     }
 }
 
@@ -90,37 +119,40 @@ pub fn validate(program: &Program) -> Vec<ValidationError> {
     let mut errors = Vec::new();
 
     if program.spans.len() != program.instrs.len() {
-        errors.push(ValidationError {
-            instr: InstrId(0),
-            message: format!(
+        errors.push(ValidationError::new(
+            program,
+            InstrId(0),
+            format!(
                 "span table has {} entries for {} instructions",
                 program.spans.len(),
                 program.instrs.len()
             ),
-        });
+        ));
     }
 
     // Procedure ranges must tile the program.
     let mut expected_start = 0u32;
     for proc in &program.procs {
         if proc.entry.0 != expected_start || proc.end.0 < proc.entry.0 {
-            errors.push(ValidationError {
-                instr: proc.entry,
-                message: format!(
+            errors.push(ValidationError::new(
+                program,
+                proc.entry,
+                format!(
                     "procedure `{}` covers [{}, {}) but should start at {expected_start}",
                     program.name(proc.name),
                     proc.entry,
                     proc.end
                 ),
-            });
+            ));
         }
         expected_start = proc.end.0;
     }
     if expected_start as usize != program.instrs.len() {
-        errors.push(ValidationError {
-            instr: InstrId(expected_start.saturating_sub(1)),
-            message: "procedure ranges do not cover the whole program".to_string(),
-        });
+        errors.push(ValidationError::new(
+            program,
+            InstrId(expected_start.saturating_sub(1)),
+            "procedure ranges do not cover the whole program".to_string(),
+        ));
     }
 
     for (index, instr) in program.instrs.iter().enumerate() {
@@ -144,19 +176,21 @@ pub fn validate(program: &Program) -> Vec<ValidationError> {
             Instr::LoadGlobal { dst, global } => {
                 local(*dst, &mut errors);
                 if global.index() >= program.globals.len() {
-                    errors.push(ValidationError {
-                        instr: id,
-                        message: format!("global {global} out of range"),
-                    });
+                    errors.push(ValidationError::new(
+                        program,
+                        id,
+                        format!("global {global} out of range"),
+                    ));
                 }
             }
             Instr::StoreGlobal { global, src } => {
                 pure(src, &mut errors);
                 if global.index() >= program.globals.len() {
-                    errors.push(ValidationError {
-                        instr: id,
-                        message: format!("global {global} out of range"),
-                    });
+                    errors.push(ValidationError::new(
+                        program,
+                        id,
+                        format!("global {global} out of range"),
+                    ));
                 }
             }
             Instr::LoadField { dst, obj, .. } => {
@@ -180,10 +214,11 @@ pub fn validate(program: &Program) -> Vec<ValidationError> {
             Instr::New { dst, class } => {
                 local(*dst, &mut errors);
                 if class.index() >= program.classes.len() {
-                    errors.push(ValidationError {
-                        instr: id,
-                        message: format!("class {class} out of range"),
-                    });
+                    errors.push(ValidationError::new(
+                        program,
+                        id,
+                        format!("class {class} out of range"),
+                    ));
                 }
             }
             Instr::NewArray { dst, len } => {
@@ -205,26 +240,26 @@ pub fn validate(program: &Program) -> Vec<ValidationError> {
                 match program.procs.get(proc.index()) {
                     Some(callee) => {
                         if callee.param_count != args.len() {
-                            errors.push(ValidationError {
-                                instr: id,
-                                message: format!(
+                            errors.push(ValidationError::new(
+                                program,
+                                id,
+                                format!(
                                     "callee `{}` takes {} argument(s), got {}",
                                     program.name(callee.name),
                                     callee.param_count,
                                     args.len()
                                 ),
-                            });
+                            ));
                         }
                     }
-                    None => errors.push(ValidationError {
-                        instr: id,
-                        message: format!("callee {proc} out of range"),
-                    }),
+                    None => errors.push(ValidationError::new(
+                        program,
+                        id,
+                        format!("callee {proc} out of range"),
+                    )),
                 }
             }
-            Instr::Join { thread } | Instr::Interrupt { thread } => {
-                local(*thread, &mut errors)
-            }
+            Instr::Join { thread } | Instr::Interrupt { thread } => local(*thread, &mut errors),
             Instr::Sleep { duration } => pure(duration, &mut errors),
             Instr::Return { value } => {
                 if let Some(value) = value {
@@ -311,15 +346,16 @@ mod tests {
         }
         let errors = validate(&program);
         assert!(
-            errors.iter().any(|error| error.message.contains("out of range")),
+            errors
+                .iter()
+                .any(|error| error.message.contains("out of range")),
             "{errors:?}"
         );
     }
 
     #[test]
     fn corrupted_arity_is_reported() {
-        let mut program =
-            crate::compile("proc callee(a) { } proc main() { callee(1); }").unwrap();
+        let mut program = crate::compile("proc callee(a) { } proc main() { callee(1); }").unwrap();
         for instr in &mut program.instrs {
             if let Instr::Call { args, .. } = instr {
                 args.clear();
@@ -327,9 +363,28 @@ mod tests {
         }
         let errors = validate(&program);
         assert!(
-            errors.iter().any(|error| error.message.contains("argument")),
+            errors
+                .iter()
+                .any(|error| error.message.contains("argument")),
             "{errors:?}"
         );
+    }
+
+    #[test]
+    fn errors_carry_source_spans() {
+        let mut program = crate::compile("proc main() {\n    var x = 1;\n}").unwrap();
+        for instr in &mut program.instrs {
+            if let Instr::Assign { dst, .. } = instr {
+                *dst = LocalId(999);
+            }
+        }
+        let errors = validate(&program);
+        let error = errors
+            .iter()
+            .find(|error| error.message.contains("out of range"))
+            .expect("corrupted slot reported");
+        assert_eq!(error.span.line, 2, "span points at the source statement");
+        assert!(error.to_string().contains("at 2:"), "{error}");
     }
 
     #[test]

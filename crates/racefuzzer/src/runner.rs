@@ -10,6 +10,7 @@ use crate::algorithm::fuzz_pair_once;
 use crate::config::FuzzConfig;
 use detector::{predict_races, PredictConfig, RacePair};
 use interp::{run_with, Limits, NullObserver, RandomScheduler, SetupError};
+use sana::{PruneReason, StaticRaceFilter};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Options for [`analyze`].
@@ -24,6 +25,9 @@ pub struct AnalyzeOptions {
     /// Template for each trial's scheduler configuration (its `seed` field
     /// is overwritten per trial).
     pub fuzz: FuzzConfig,
+    /// Run the `sana` static pre-analysis between the phases and skip
+    /// Phase-2 fuzzing of statically refuted pairs.
+    pub static_prune: bool,
 }
 
 impl Default for AnalyzeOptions {
@@ -33,6 +37,7 @@ impl Default for AnalyzeOptions {
             trials_per_pair: 100,
             base_seed: 1,
             fuzz: FuzzConfig::default(),
+            static_prune: false,
         }
     }
 }
@@ -136,8 +141,13 @@ impl PairReport {
 pub struct AnalysisReport {
     /// Phase-1 output: potential racing pairs (Table 1, "Hybrid # races").
     pub potential: Vec<RacePair>,
-    /// Per-pair Phase-2 statistics, parallel to `potential`.
+    /// Per-pair Phase-2 statistics, parallel to `potential`. A statically
+    /// pruned pair keeps its slot with an empty (zero-trial) report.
     pub pairs: Vec<PairReport>,
+    /// Pairs refuted by the static pre-analysis (empty unless
+    /// [`AnalyzeOptions::static_prune`] was set), with the refutation
+    /// reason.
+    pub pruned: Vec<(RacePair, PruneReason)>,
 }
 
 impl AnalysisReport {
@@ -228,8 +238,21 @@ pub fn analyze(
     options: &AnalyzeOptions,
 ) -> Result<AnalysisReport, SetupError> {
     let potential = predict_races(program, entry, &options.predict)?;
+    let filter = if options.static_prune {
+        StaticRaceFilter::for_entry(program, entry)
+    } else {
+        None
+    };
     let mut pairs = Vec::with_capacity(potential.len());
+    let mut pruned = Vec::new();
     for &target in &potential {
+        if let Some(reason) = filter.as_ref().and_then(|f| f.refute(program, &target)) {
+            // Keep the slot so `pairs` stays parallel to `potential`, but
+            // spend no trials on a statically impossible race.
+            pairs.push(PairReport::empty(target));
+            pruned.push((target, reason));
+            continue;
+        }
         pairs.push(fuzz_pair(
             program,
             entry,
@@ -239,7 +262,11 @@ pub fn analyze(
             &options.fuzz,
         )?);
     }
-    Ok(AnalysisReport { potential, pairs })
+    Ok(AnalysisReport {
+        potential,
+        pairs,
+        pruned,
+    })
 }
 
 /// Baseline for Table 1's "Simple" column: run `trials` plain

@@ -1,0 +1,178 @@
+//! `cil-lint` — static diagnostics for CIL programs.
+//!
+//! ```text
+//! cil-lint [--entry NAME] [--baseline FILE] [--write-baseline FILE] <file.cil>...
+//! ```
+//!
+//! For each file: compile, run the `sana` lints (unprotected shared
+//! accesses, inconsistent lock discipline, static lock-order cycles,
+//! structural IR errors), and print one span-mapped line per diagnostic:
+//!
+//! ```text
+//! examples/cil/figure1.cil:10:13: unprotected-shared-access: #4 `store z` ...
+//! ```
+//!
+//! Exit codes (CI treats any non-zero as failure, `-D warnings`-style):
+//!
+//! - `0` — no diagnostics, or every diagnostic is allowed by `--baseline`;
+//! - `1` — diagnostics beyond the baseline (regressions);
+//! - `2` — a file failed to read or compile, or bad usage.
+//!
+//! A baseline file records the *expected* diagnostic counts as lines of
+//! `<count> <file> <kind>`; `--write-baseline` emits the current state so
+//! known-racy fixtures (the whole point of this suite) stay green while
+//! any new diagnostic — or a fixed one — fails CI until acknowledged.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use sana::lint::{lint_named, lint_program};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cil-lint [--entry NAME] [--baseline FILE] [--write-baseline FILE] <file.cil>..."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut entry = "main".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut write_baseline: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--entry" => match iter.next() {
+                Some(name) => entry = name,
+                None => return usage(),
+            },
+            "--baseline" => match iter.next() {
+                Some(path) => baseline_path = Some(path),
+                None => return usage(),
+            },
+            "--write-baseline" => match iter.next() {
+                Some(path) => write_baseline = Some(path),
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        return usage();
+    }
+    files.sort();
+
+    let baseline: BTreeMap<(String, String), usize> = match &baseline_path {
+        None => BTreeMap::new(),
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => parse_baseline(&text),
+            Err(error) => {
+                eprintln!("cil-lint: cannot read baseline `{path}`: {error}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let mut observed: BTreeMap<(String, String), usize> = BTreeMap::new();
+    let mut total = 0usize;
+    for path in &files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(source) => source,
+            Err(error) => {
+                eprintln!("cil-lint: cannot read `{path}`: {error}");
+                return ExitCode::from(2);
+            }
+        };
+        let program = match cil::compile(&source) {
+            Ok(program) => program,
+            Err(error) => {
+                eprintln!("{path}:{error}");
+                return ExitCode::from(2);
+            }
+        };
+        let diagnostics = match lint_named(&program, &entry) {
+            Some(diagnostics) => diagnostics,
+            None => {
+                // No such entry proc: lint from the first procedure so
+                // library-style files still get structural checks.
+                lint_program(&program, cil::flat::ProcId(0))
+            }
+        };
+        for diagnostic in &diagnostics {
+            println!("{path}:{diagnostic}");
+            *observed
+                .entry((path.clone(), diagnostic.kind.tag().to_string()))
+                .or_insert(0) += 1;
+            total += 1;
+        }
+    }
+
+    if let Some(path) = write_baseline {
+        let mut text = String::from(
+            "# cil-lint baseline: `<count> <file> <kind>` per line.\n\
+             # Regenerate with: cil-lint --write-baseline <this file> <files>...\n",
+        );
+        for ((file, kind), count) in &observed {
+            text.push_str(&format!("{count} {file} {kind}\n"));
+        }
+        if let Err(error) = std::fs::write(&path, text) {
+            eprintln!("cil-lint: cannot write baseline `{path}`: {error}");
+            return ExitCode::from(2);
+        }
+        println!("cil-lint: wrote baseline `{path}` ({total} diagnostic(s))");
+        return ExitCode::SUCCESS;
+    }
+
+    // Regression check: every (file, kind) count must match the baseline
+    // exactly — new diagnostics fail, and silently fixed ones must be
+    // re-baselined too so the record stays honest.
+    let mut regressions = 0usize;
+    if baseline_path.is_some() {
+        let keys: std::collections::BTreeSet<_> =
+            observed.keys().chain(baseline.keys()).cloned().collect();
+        for key in keys {
+            let now = observed.get(&key).copied().unwrap_or(0);
+            let expected = baseline.get(&key).copied().unwrap_or(0);
+            if now != expected {
+                let (file, kind) = &key;
+                eprintln!(
+                    "cil-lint: {file}: {kind}: expected {expected} diagnostic(s), found {now}"
+                );
+                regressions += 1;
+            }
+        }
+    }
+
+    if regressions > 0 {
+        eprintln!("cil-lint: {regressions} regression(s) against baseline");
+        ExitCode::from(1)
+    } else if baseline_path.is_none() && total > 0 {
+        eprintln!("cil-lint: {total} diagnostic(s)");
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn parse_baseline(text: &str) -> BTreeMap<(String, String), usize> {
+    let mut baseline = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, ' ');
+        let (Some(count), Some(file), Some(kind)) = (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        if let Ok(count) = count.parse::<usize>() {
+            baseline.insert((file.to_string(), kind.to_string()), count);
+        }
+    }
+    baseline
+}

@@ -1,0 +1,178 @@
+//! Thread-escape analysis.
+//!
+//! An allocation site **escapes** its creating thread when a reference to
+//! it may become reachable by another thread: stored into a global, stored
+//! into any heap location (globals and the heap are shared soup — we do not
+//! distinguish confined containers), or passed as a spawn argument.
+//! References that move only through locals, call arguments, and return
+//! values stay on the creating thread's stack, so every access whose base
+//! object is proven non-escaping is executed by one thread only and can
+//! never race.
+
+use cil::flat::{Instr, InstrId, LocalId};
+use cil::Program;
+
+use crate::cfg::Cfg;
+use crate::locks::LockAnalysis;
+
+/// Escape facts per allocation site.
+#[derive(Clone, Debug)]
+pub struct EscapeAnalysis {
+    /// `escaped[instr]` is meaningful for `New`/`NewArray` sites only.
+    escaped: Vec<bool>,
+}
+
+impl EscapeAnalysis {
+    /// Marks every allocation site whose reference may leave its creating
+    /// thread's stack.
+    pub fn build(program: &Program, cfg: &Cfg, locks: &LockAnalysis) -> EscapeAnalysis {
+        let mut escaped = vec![false; program.instr_count()];
+        let leak = |proc: cil::flat::ProcId, expr: &cil::flat::PureExpr, escaped: &mut Vec<bool>| {
+            for local in locals_of_expr(expr) {
+                let set = locks.value_set(proc, local);
+                for site in &set.sites {
+                    escaped[site.index()] = true;
+                }
+            }
+        };
+        for (index, instr) in program.instrs.iter().enumerate() {
+            let proc = cfg.owner(InstrId(index as u32));
+            match instr {
+                Instr::StoreGlobal { src, .. } => leak(proc, src, &mut escaped),
+                Instr::StoreField { src, .. } => leak(proc, src, &mut escaped),
+                Instr::StoreElem { src, .. } => leak(proc, src, &mut escaped),
+                Instr::Spawn { args, .. } => {
+                    for arg in args {
+                        leak(proc, arg, &mut escaped);
+                    }
+                }
+                _ => {}
+            }
+        }
+        EscapeAnalysis { escaped }
+    }
+
+    /// May a reference allocated at `site` become visible to another thread?
+    pub fn escapes(&self, site: InstrId) -> bool {
+        self.escaped[site.index()]
+    }
+
+    /// Is `id` a field/element access whose base object certainly never
+    /// escapes its creating thread? Such accesses cannot race: only the
+    /// allocating thread can ever reach the object.
+    pub fn confined_access(&self, program: &Program, cfg: &Cfg, locks: &LockAnalysis, id: InstrId) -> bool {
+        let base: Option<LocalId> = match program.instr(id) {
+            Instr::LoadField { obj, .. } | Instr::StoreField { obj, .. } => Some(*obj),
+            Instr::LoadElem { arr, .. } | Instr::StoreElem { arr, .. } => Some(*arr),
+            // Globals are shared by definition.
+            _ => None,
+        };
+        let Some(base) = base else { return false };
+        let set = locks.value_set(cfg.owner(id), base);
+        !set.unknown
+            && !set.sites.is_empty()
+            && set.sites.iter().all(|site| !self.escapes(*site))
+    }
+}
+
+fn locals_of_expr(expr: &cil::flat::PureExpr) -> Vec<LocalId> {
+    use cil::flat::PureExpr;
+    match expr {
+        PureExpr::Const(_) => Vec::new(),
+        PureExpr::Local(id) => vec![*id],
+        // Unary/binary results are never references, but their operands
+        // cannot smuggle a reference out either (the result is a scalar),
+        // so nothing leaks through them.
+        PureExpr::Unary { .. } | PureExpr::Binary { .. } | PureExpr::Len(_) => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+
+    fn analyze(source: &str) -> (Program, Cfg, LockAnalysis, EscapeAnalysis) {
+        let program = cil::compile(source).unwrap();
+        let cfg = Cfg::build(&program);
+        let entry = program.proc_named("main").unwrap();
+        let graph = CallGraph::build(&program, &cfg, entry);
+        let locks = LockAnalysis::build(&program, &cfg, &graph, entry);
+        let escape = EscapeAnalysis::build(&program, &cfg, &locks);
+        (program, cfg, locks, escape)
+    }
+
+    #[test]
+    fn local_scratch_object_is_confined() {
+        let (program, cfg, locks, escape) = analyze(
+            r#"
+            class Point { x }
+            proc main() {
+                var p = new Point;
+                @w p.x = 1;
+                @r var v = p.x;
+                print v;
+            }
+            "#,
+        );
+        assert!(escape.confined_access(&program, &cfg, &locks, program.tagged_access("w")));
+        assert!(escape.confined_access(&program, &cfg, &locks, program.tagged_access("r")));
+    }
+
+    #[test]
+    fn global_published_object_escapes() {
+        let (program, cfg, locks, escape) = analyze(
+            r#"
+            class Point { x }
+            global shared;
+            proc main() {
+                var p = new Point;
+                shared = p;
+                @w p.x = 1;
+            }
+            "#,
+        );
+        assert!(!escape.confined_access(&program, &cfg, &locks, program.tagged_access("w")));
+    }
+
+    #[test]
+    fn spawn_argument_escapes() {
+        let (program, cfg, locks, escape) = analyze(
+            r#"
+            class Point { x }
+            proc worker(p) { @remote p.x = 2; }
+            proc main() {
+                var p = new Point;
+                var t = spawn worker(p);
+                @local p.x = 1;
+                join t;
+            }
+            "#,
+        );
+        assert!(!escape.confined_access(&program, &cfg, &locks, program.tagged_access("local")));
+        assert!(!escape.confined_access(&program, &cfg, &locks, program.tagged_access("remote")));
+    }
+
+    #[test]
+    fn call_argument_does_not_escape() {
+        let (program, cfg, locks, escape) = analyze(
+            r#"
+            class Point { x }
+            proc bump(p) { @callee p.x = p.x + 1; }
+            proc main() {
+                var p = new Point;
+                bump(p);
+                @caller var v = p.x;
+                print v;
+            }
+            "#,
+        );
+        assert!(escape.confined_access(&program, &cfg, &locks, program.tagged_access("caller")));
+        assert!(escape.confined_access(
+            &program,
+            &cfg,
+            &locks,
+            program.tagged_accesses("callee")[0]
+        ));
+    }
+}

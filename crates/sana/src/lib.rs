@@ -1,0 +1,44 @@
+//! Static pre-analysis over the lowered CIL [`Program`].
+//!
+//! RaceFuzzer's Phase 1 is deliberately imprecise: every candidate pair it
+//! reports costs a full Phase-2 re-execution. This crate statically
+//! discharges candidate pairs that *cannot* race in any execution, before
+//! the schedulers spend trials on them:
+//!
+//! - [`cfg`] — per-procedure control-flow graphs with exceptional edges;
+//! - [`callgraph`] — interprocedural call/spawn graph and execution counts;
+//! - [`mhp`] — spawn/join-structure may-happen-in-parallel analysis;
+//! - [`locks`] — flow-sensitive must-held-lockset dataflow and a static
+//!   lock-order graph mirroring `detector::lockgraph`;
+//! - [`escape`] — thread-escape analysis proving allocations confined to
+//!   their creating thread;
+//! - [`lint`] — span-mapped diagnostics for the `cil-lint` driver.
+//!
+//! [`StaticRaceFilter`] combines them: [`StaticRaceFilter::refute`] returns
+//! `Some(reason)` only when the pair is proven impossible, so pruning on it
+//! is sound — a dynamic race report on a refuted pair is a detector bug,
+//! surfaced by [`StaticRaceFilter::cross_check`].
+//!
+//! # Soundness assumptions
+//!
+//! The refutations are sound *for well-typed, handle-disciplined programs*:
+//! operands have the runtime types their use sites imply (no `TypeError`
+//! unwinding), dereferenced objects and joined thread handles are non-null,
+//! and `unlock` releases a held monitor. Programs that violate these raise
+//! builtin exceptions at dynamic points the CFG does not model as throwing.
+//! The `workloads` suite and the paper's figures all satisfy them; the
+//! cross-check in Audit mode exists precisely to catch violations in the
+//! wild. See DESIGN.md ("Static filter vs the hybrid Phase-1 detector").
+
+#![warn(missing_docs)]
+
+pub mod callgraph;
+pub mod cfg;
+pub mod escape;
+pub mod lint;
+pub mod locks;
+pub mod mhp;
+
+mod filter;
+
+pub use filter::{FilterStats, PruneReason, SoundnessBug, StaticRaceFilter};

@@ -1,0 +1,447 @@
+//! Span-mapped static diagnostics for the `cil-lint` driver.
+//!
+//! Three warning families, all derived from the same analyses as the race
+//! filter, plus structural IR errors from [`cil::validate`]:
+//!
+//! - **unprotected-shared-access** — two conflicting accesses (same
+//!   location class, at least one write) may happen in parallel and
+//!   *neither* side holds any lock;
+//! - **inconsistent-lock-discipline** — a parallel conflicting pair where
+//!   locks are held but no common allocate-once lock protects both sides;
+//! - **lock-order-cycle** — the static analogue of
+//!   `detector::lockgraph`: nested must-held acquisitions form a cycle
+//!   whose edges may come from distinct threads and share no gate lock.
+//!
+//! Lint is a *may* analysis: a clean report is not a proof of race freedom
+//! (aliasing through the heap is unknown-poisoned, not tracked), but every
+//! diagnostic points at a pair the static race filter could not discharge.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use cil::flat::{Instr, InstrId, ProcId};
+use cil::span::Span;
+use cil::Program;
+
+use crate::callgraph::ExecCount;
+use crate::filter::StaticRaceFilter;
+
+/// The diagnostic families `cil-lint` emits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintKind {
+    /// Structural IR invariant violation (from `cil::validate`).
+    InvalidIr,
+    /// Parallel conflicting accesses with no lock on either side.
+    UnprotectedSharedAccess,
+    /// Parallel conflicting accesses with locks but no common lock.
+    InconsistentLockDiscipline,
+    /// Static lock-order cycle (potential deadlock).
+    LockOrderCycle,
+}
+
+impl LintKind {
+    /// Stable machine-readable tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            LintKind::InvalidIr => "invalid-ir",
+            LintKind::UnprotectedSharedAccess => "unprotected-shared-access",
+            LintKind::InconsistentLockDiscipline => "inconsistent-lock-discipline",
+            LintKind::LockOrderCycle => "lock-order-cycle",
+        }
+    }
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One diagnostic, anchored at a primary instruction's source span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The family.
+    pub kind: LintKind,
+    /// The anchor instruction.
+    pub instr: InstrId,
+    /// Its source span.
+    pub span: Span,
+    /// Human-readable explanation (includes related sites).
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.span == Span::SYNTHETIC {
+            write!(f, "{}: {}", self.kind, self.message)
+        } else {
+            write!(f, "{}: {}: {}", self.span, self.kind, self.message)
+        }
+    }
+}
+
+/// Runs every lint over `program` entered at `entry`, sorted by source
+/// position then kind (deterministic across runs).
+pub fn lint_program(program: &Program, entry: ProcId) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+
+    for error in cil::validate::validate(program) {
+        diagnostics.push(Diagnostic {
+            kind: LintKind::InvalidIr,
+            instr: error.instr,
+            span: error.span,
+            message: error.message.clone(),
+        });
+    }
+
+    // The analyses index locals/globals/procs by the IDs the IR claims, so
+    // they are only defined on structurally valid programs.
+    if diagnostics.is_empty() {
+        let filter = StaticRaceFilter::build(program, entry);
+        access_lints(program, &filter, &mut diagnostics);
+        lock_order_lints(program, &filter, &mut diagnostics);
+    }
+
+    diagnostics.sort_by_key(|diagnostic| {
+        (
+            diagnostic.span.line,
+            diagnostic.span.col,
+            diagnostic.kind,
+            diagnostic.instr,
+        )
+    });
+    diagnostics
+}
+
+/// Convenience: lint with a named entry (`main` fallback handled by the
+/// driver).
+pub fn lint_named(program: &Program, entry: &str) -> Option<Vec<Diagnostic>> {
+    Some(lint_program(program, program.proc_named(entry)?))
+}
+
+/// May the two accesses touch the same memory location?
+fn may_alias(program: &Program, filter: &StaticRaceFilter, a: InstrId, b: InstrId) -> bool {
+    use Instr::*;
+    let locks = filter.locks();
+    let cfg = filter.cfg();
+    let bases_overlap = |obj_a, obj_b| {
+        let set_a = locks.value_set(cfg.owner(a), obj_a);
+        let set_b = locks.value_set(cfg.owner(b), obj_b);
+        set_a.unknown || set_b.unknown || set_a.sites.intersection(&set_b.sites).next().is_some()
+    };
+    match (program.instr(a), program.instr(b)) {
+        (LoadGlobal { global: ga, .. } | StoreGlobal { global: ga, .. },
+         LoadGlobal { global: gb, .. } | StoreGlobal { global: gb, .. }) => ga == gb,
+        (LoadField { obj: oa, field: fa, .. } | StoreField { obj: oa, field: fa, .. },
+         LoadField { obj: ob, field: fb, .. } | StoreField { obj: ob, field: fb, .. }) => {
+            fa == fb && bases_overlap(*oa, *ob)
+        }
+        (LoadElem { arr: oa, .. } | StoreElem { arr: oa, .. },
+         LoadElem { arr: ob, .. } | StoreElem { arr: ob, .. }) => bases_overlap(*oa, *ob),
+        _ => false,
+    }
+}
+
+fn access_lints(program: &Program, filter: &StaticRaceFilter, diagnostics: &mut Vec<Diagnostic>) {
+    let accesses: Vec<InstrId> = program.memory_access_instrs().collect();
+    let cfg = filter.cfg();
+    let locks = filter.locks();
+    let escape = filter.escape();
+    for (position, &a) in accesses.iter().enumerate() {
+        for &b in &accesses[position..] {
+            let writes = program.instr(a).is_memory_write() || program.instr(b).is_memory_write();
+            if !writes
+                || !may_alias(program, filter, a, b)
+                || !filter.mhp().may_happen_in_parallel(a, b)
+            {
+                continue;
+            }
+            if escape.confined_access(program, cfg, locks, a)
+                || escape.confined_access(program, cfg, locks, b)
+            {
+                continue;
+            }
+            if filter.commonly_locked(a, b) {
+                continue;
+            }
+            let (held_a, held_b) = (
+                locks.must_lockset(a).map_or(0, BTreeSet::len),
+                locks.must_lockset(b).map_or(0, BTreeSet::len),
+            );
+            let kind = if held_a == 0 && held_b == 0 {
+                LintKind::UnprotectedSharedAccess
+            } else {
+                LintKind::InconsistentLockDiscipline
+            };
+            let message = if a == b {
+                format!(
+                    "{} may race with another instance of itself",
+                    cil::pretty::describe_instr(program, a)
+                )
+            } else {
+                format!(
+                    "{} may race with {}",
+                    cil::pretty::describe_instr(program, a),
+                    cil::pretty::describe_instr(program, b)
+                )
+            };
+            diagnostics.push(Diagnostic {
+                kind,
+                instr: a,
+                span: program.span(a),
+                message,
+            });
+        }
+    }
+}
+
+/// One static nested acquisition: while `outer` (an allocate-once site) is
+/// must-held, `site` acquires `inner`.
+struct StaticLockEdge {
+    outer: InstrId,
+    inner: InstrId,
+    site: InstrId,
+    gates: BTreeSet<InstrId>,
+}
+
+fn lock_order_lints(
+    program: &Program,
+    filter: &StaticRaceFilter,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    let cfg = filter.cfg();
+    let locks = filter.locks();
+    let stable = |site: InstrId| filter.callgraph().instr_execs(site) == ExecCount::One;
+
+    let mut edges: Vec<StaticLockEdge> = Vec::new();
+    for (index, instr) in program.instrs.iter().enumerate() {
+        if !matches!(instr, Instr::Lock { .. }) {
+            continue;
+        }
+        let id = InstrId(index as u32);
+        let Some(inner) = locks.lock_target(program, cfg, id) else {
+            continue;
+        };
+        let Some(held) = locks.must_lockset(id) else {
+            continue;
+        };
+        if !stable(inner) {
+            continue;
+        }
+        for &outer in held {
+            if outer == inner || !stable(outer) {
+                continue;
+            }
+            let gates: BTreeSet<InstrId> = held
+                .iter()
+                .copied()
+                .filter(|&gate| gate != outer && gate != inner)
+                .collect();
+            edges.push(StaticLockEdge {
+                outer,
+                inner,
+                site: id,
+                gates,
+            });
+        }
+    }
+
+    // Cycle search over lock nodes, mirroring detector::lockgraph: report a
+    // cycle only when its acquisition sites may happen in parallel pairwise
+    // (distinct threads can be inside the edges simultaneously) and no gate
+    // lock is common to every edge.
+    let mut reported: BTreeSet<Vec<InstrId>> = BTreeSet::new();
+    for (first_index, first) in edges.iter().enumerate() {
+        for second in &edges[first_index + 1..] {
+            if first.outer != second.inner || first.inner != second.outer {
+                continue;
+            }
+            if !filter.mhp().may_happen_in_parallel(first.site, second.site) {
+                continue;
+            }
+            if first.gates.intersection(&second.gates).next().is_some() {
+                continue;
+            }
+            let mut key = vec![first.site, second.site];
+            key.sort();
+            if !reported.insert(key) {
+                continue;
+            }
+            diagnostics.push(Diagnostic {
+                kind: LintKind::LockOrderCycle,
+                instr: first.site,
+                span: program.span(first.site),
+                message: format!(
+                    "lock-order inversion: {} acquires in the opposite order of {}",
+                    cil::pretty::describe_instr(program, first.site),
+                    cil::pretty::describe_instr(program, second.site)
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(source: &str) -> (Program, Vec<Diagnostic>) {
+        let program = cil::compile(source).unwrap();
+        let entry = program.proc_named("main").unwrap();
+        let diagnostics = lint_program(&program, entry);
+        (program, diagnostics)
+    }
+
+    fn kinds(diagnostics: &[Diagnostic]) -> Vec<LintKind> {
+        let mut kinds: Vec<LintKind> = diagnostics.iter().map(|d| d.kind).collect();
+        kinds.dedup();
+        kinds
+    }
+
+    #[test]
+    fn clean_locked_program_has_no_diagnostics() {
+        let (_, diagnostics) = lint(
+            r#"
+            class Lock { }
+            global l;
+            global x = 0;
+            proc worker() { sync (l) { x = x + 1; } }
+            proc main() {
+                l = new Lock;
+                var t = spawn worker();
+                sync (l) { x = x + 1; }
+                join t;
+            }
+            "#,
+        );
+        assert_eq!(diagnostics, vec![], "expected clean bill of health");
+    }
+
+    #[test]
+    fn unprotected_write_is_flagged_with_span() {
+        let (_, diagnostics) = lint(
+            r#"
+            global x = 0;
+            proc worker() { x = 1; }
+            proc main() {
+                var t = spawn worker();
+                x = 2;
+                join t;
+            }
+            "#,
+        );
+        assert!(
+            kinds(&diagnostics).contains(&LintKind::UnprotectedSharedAccess),
+            "{diagnostics:?}"
+        );
+        assert!(diagnostics.iter().all(|d| d.span.line > 0));
+    }
+
+    #[test]
+    fn one_sided_locking_is_inconsistent_discipline() {
+        let (_, diagnostics) = lint(
+            r#"
+            class Lock { }
+            global l;
+            global x = 0;
+            proc worker() { sync (l) { x = 1; } }
+            proc main() {
+                l = new Lock;
+                var t = spawn worker();
+                x = 2;
+                join t;
+            }
+            "#,
+        );
+        assert!(
+            kinds(&diagnostics).contains(&LintKind::InconsistentLockDiscipline),
+            "{diagnostics:?}"
+        );
+    }
+
+    #[test]
+    fn fork_join_ordering_suppresses_warnings() {
+        let (_, diagnostics) = lint(
+            r#"
+            global x = 0;
+            proc worker() { x = 1; }
+            proc main() {
+                x = 5;
+                var t = spawn worker();
+                join t;
+                var a = x;
+                print a;
+            }
+            "#,
+        );
+        assert_eq!(diagnostics, vec![], "fork/join orders every access");
+    }
+
+    #[test]
+    fn opposite_nesting_is_a_lock_order_cycle() {
+        let (_, diagnostics) = lint(
+            r#"
+            class Lock { }
+            global a;
+            global b;
+            proc left() { sync (a) { sync (b) { nop; } } }
+            proc right() { sync (b) { sync (a) { nop; } } }
+            proc main() {
+                a = new Lock;
+                b = new Lock;
+                var t1 = spawn left();
+                var t2 = spawn right();
+                join t1;
+                join t2;
+            }
+            "#,
+        );
+        assert!(
+            kinds(&diagnostics).contains(&LintKind::LockOrderCycle),
+            "{diagnostics:?}"
+        );
+    }
+
+    #[test]
+    fn gate_lock_suppresses_the_cycle() {
+        let (_, diagnostics) = lint(
+            r#"
+            class Lock { }
+            global a;
+            global b;
+            global g;
+            proc left() { sync (g) { sync (a) { sync (b) { nop; } } } }
+            proc right() { sync (g) { sync (b) { sync (a) { nop; } } } }
+            proc main() {
+                a = new Lock;
+                b = new Lock;
+                g = new Lock;
+                var t1 = spawn left();
+                var t2 = spawn right();
+                join t1;
+                join t2;
+            }
+            "#,
+        );
+        assert!(
+            !kinds(&diagnostics).contains(&LintKind::LockOrderCycle),
+            "{diagnostics:?}"
+        );
+    }
+
+    #[test]
+    fn corrupted_ir_reports_invalid_ir() {
+        let mut program = cil::compile("proc main() { var x = 1; }").unwrap();
+        for instr in &mut program.instrs {
+            if let Instr::Assign { dst, .. } = instr {
+                *dst = cil::flat::LocalId(99);
+            }
+        }
+        let entry = program.proc_named("main").unwrap();
+        let diagnostics = lint_program(&program, entry);
+        assert!(
+            diagnostics.iter().any(|d| d.kind == LintKind::InvalidIr),
+            "{diagnostics:?}"
+        );
+    }
+}

@@ -98,6 +98,7 @@ pub fn cache4j() -> Workload {
         description: "object cache with cleaner thread; _sleep flag race \
                       causes an uncaught InterruptedException (paper §5.3)",
         program: cil::compile(&source).expect("cache4j compiles"),
+        source: source.to_string(),
         entry: "main",
         paper: PaperRow {
             sloc: 3_897,
@@ -170,6 +171,7 @@ pub fn sor() -> Workload {
         description: "successive over-relaxation: handshake-ordered halves; \
                       every prediction is a false alarm (0 real races)",
         program: cil::compile(source).expect("sor compiles"),
+        source: source.to_string(),
         entry: "main",
         paper: PaperRow {
             sloc: 17_689,
@@ -237,6 +239,7 @@ pub fn hedc() -> Workload {
         description: "web-crawler kernel: unsynchronized result publication \
                       → NullPointerException; handshake metadata false alarms",
         program: cil::compile(&source).expect("hedc compiles"),
+        source: source.to_string(),
         entry: "main",
         paper: PaperRow {
             sloc: 29_948,
@@ -325,6 +328,7 @@ pub fn weblech() -> Workload {
         description: "website downloader: unlocked double-read of the queue \
                       size → ArrayIndexOutOfBoundsException",
         program: cil::compile(&source).expect("weblech compiles"),
+        source: source.to_string(),
         entry: "main",
         paper: PaperRow {
             sloc: 35_175,
@@ -377,6 +381,7 @@ pub fn jspider() -> Workload {
         description: "web spider: plugin config handshake; all predictions \
                       are false alarms (0 real races)",
         program: cil::compile(&source).expect("jspider compiles"),
+        source: source.to_string(),
         entry: "main",
         paper: PaperRow {
             sloc: 64_933,
@@ -442,6 +447,7 @@ pub fn jigsaw() -> Workload {
         description: "W3C web server at ~1/10 scale: 40 handshake false \
                       alarms + 6 unprotected counters (12 real benign pairs)",
         program: cil::compile(&source).expect("jigsaw compiles"),
+        source: source.to_string(),
         entry: "main",
         paper: PaperRow {
             sloc: 381_348,

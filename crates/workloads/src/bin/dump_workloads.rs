@@ -1,0 +1,52 @@
+//! `dump-workloads` — write every workload's CIL source to a directory.
+//!
+//! ```text
+//! dump-workloads <dir>
+//! ```
+//!
+//! Each Table-1 model becomes `<dir>/<name>.cil` (names sanitized to
+//! `[a-z0-9_]` so they survive shell globs and the `cil-lint` baseline
+//! format, which is space-separated). CI uses this to run `cil-lint` over
+//! the workload fixtures with a committed baseline: the models contain
+//! *deliberate* races, so the baseline records the expected diagnostics
+//! and any drift — a new warning or a silently fixed one — fails the job.
+
+use std::process::ExitCode;
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let Some(dir) = std::env::args().nth(1) else {
+        eprintln!("usage: dump-workloads <dir>");
+        return ExitCode::from(2);
+    };
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(error) = std::fs::create_dir_all(&dir) {
+        eprintln!("dump-workloads: cannot create `{}`: {error}", dir.display());
+        return ExitCode::from(2);
+    }
+    let workloads = workloads::all();
+    for workload in &workloads {
+        let path = dir.join(format!("{}.cil", sanitize(workload.name)));
+        if let Err(error) = std::fs::write(&path, &workload.source) {
+            eprintln!("dump-workloads: cannot write `{}`: {error}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    println!(
+        "dump-workloads: wrote {} fixture(s) to `{}`",
+        workloads.len(),
+        dir.display()
+    );
+    ExitCode::SUCCESS
+}

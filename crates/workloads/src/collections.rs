@@ -487,9 +487,12 @@ const LIB: &str = r#"
     }
 "#;
 
+fn full_source(driver: &str) -> String {
+    format!("{LIB}\n{driver}")
+}
+
 fn compile_with_driver(driver: &str) -> cil::Program {
-    let source = format!("{LIB}\n{driver}");
-    cil::compile(&source).expect("collections workload compiles")
+    cil::compile(&full_source(driver)).expect("collections workload compiles")
 }
 
 /// `Vector` (JDK 1.1): every mutator holds the vector's monitor, but the
@@ -530,6 +533,7 @@ pub fn vector() -> Workload {
         description: "JDK 1.1 Vector: synchronized mutators, unsynchronized \
                       size()/isEmpty() fast paths (real benign races)",
         program: compile_with_driver(driver),
+        source: full_source(driver),
         entry: "main",
         paper: PaperRow {
             sloc: 709,
@@ -594,6 +598,7 @@ pub fn linked_list() -> Workload {
         description: "synchronized LinkedList: containsAll iterates the \
                       argument unlocked → CME / NoSuchElementException",
         program: compile_with_driver(driver),
+        source: full_source(driver),
         entry: "main",
         paper: PaperRow {
             sloc: 5_979,
@@ -655,6 +660,7 @@ pub fn array_list() -> Workload {
         description: "synchronized ArrayList: containsAll iterates the \
                       argument unlocked → CME / NoSuchElementException",
         program: compile_with_driver(driver),
+        source: full_source(driver),
         entry: "main",
         paper: PaperRow {
             sloc: 5_866,
@@ -711,6 +717,7 @@ pub fn hash_set() -> Workload {
         description: "synchronized HashSet: size-driven bucket iterator vs \
                       concurrent clear/add → CME / NoSuchElementException",
         program: compile_with_driver(driver),
+        source: full_source(driver),
         entry: "main",
         paper: PaperRow {
             sloc: 7_086,
@@ -769,6 +776,7 @@ pub fn tree_set() -> Workload {
         description: "synchronized TreeSet (sorted-array model): ordered \
                       iteration vs concurrent add/clear → CME / NSEE",
         program: compile_with_driver(driver),
+        source: full_source(driver),
         entry: "main",
         paper: PaperRow {
             sloc: 7_532,

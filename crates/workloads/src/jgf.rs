@@ -123,6 +123,7 @@ pub fn moldyn() -> Workload {
         description: "JGF molecular dynamics: busy-wait barrier phases; \
                       2 real benign barrier races; cross-phase false alarms",
         program: cil::compile(&source).expect("moldyn compiles"),
+        source: source.to_string(),
         entry: "main",
         paper: PaperRow {
             sloc: 1_352,
@@ -168,6 +169,7 @@ pub fn raytracer() -> Workload {
         description: "JGF ray tracer: unprotected checksum accumulation — \
                       all potential races are real, none harmful",
         program: cil::compile(source).expect("raytracer compiles"),
+        source: source.to_string(),
         entry: "main",
         paper: PaperRow {
             sloc: 1_924,
@@ -230,6 +232,7 @@ pub fn montecarlo() -> Workload {
         description: "JGF Monte Carlo: flag-handshake config publication \
                       (false alarms) + one real unprotected result store",
         program: cil::compile(source).expect("montecarlo compiles"),
+        source: source.to_string(),
         entry: "main",
         paper: PaperRow {
             sloc: 3_619,

@@ -61,6 +61,10 @@ pub struct Workload {
     pub description: &'static str,
     /// The compiled model.
     pub program: Program,
+    /// The CIL source `program` was compiled from — lets static tools
+    /// (`cil lint`, the pruning benchmark) re-analyze the fixture and map
+    /// diagnostics back to source spans.
+    pub source: String,
     /// Entry procedure for the test driver.
     pub entry: &'static str,
     /// The paper's Table 1 row for comparison.

@@ -41,6 +41,7 @@ pub use cil;
 pub use detector;
 pub use interp;
 pub use racefuzzer;
+pub use sana;
 pub use vclock;
 pub use workloads;
 
@@ -59,4 +60,5 @@ pub mod prelude {
         analyze, fuzz_pair, fuzz_pair_once, hunt_deadlocks, render_trace, replay,
         AnalysisReport, AnalyzeOptions, DeadlockOptions, FuzzConfig,
     };
+    pub use sana::{FilterStats, PruneReason, StaticRaceFilter};
 }
