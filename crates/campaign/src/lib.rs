@@ -63,11 +63,14 @@ pub use checkpoint::{Checkpoint, CheckpointHeader};
 
 use detector::{predict_races, PredictConfig, RacePair};
 use interp::SetupError;
-use racefuzzer::{fuzz_pair_once, FuzzConfig, FuzzOutcome, PairReport};
+use racefuzzer::{fuzz_pair_once, FuzzConfig, FuzzOutcome, PairReport, ParallelOptions};
 use sana::{PruneReason, StaticRaceFilter};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// One unit of campaign work: a compiled program plus its entry procedure.
 #[derive(Clone, Debug)]
@@ -137,6 +140,13 @@ pub struct CampaignOptions {
     pub stop_after_pairs: Option<usize>,
     /// Static pre-analysis mode (default [`StaticFilterMode::Off`]).
     pub static_filter: StaticFilterMode,
+    /// Phase-2 worker pool (default: sequential). With more than one
+    /// worker, pairs are fuzzed concurrently — each trial still isolated by
+    /// `catch_unwind` inside its worker — but results are *committed*
+    /// (report, failure artifacts, checkpoint) strictly in pair order
+    /// through a reorder buffer, so reports, artifact files, and every
+    /// intermediate checkpoint are identical to a sequential run.
+    pub parallel: ParallelOptions,
 }
 
 impl Default for CampaignOptions {
@@ -153,6 +163,7 @@ impl Default for CampaignOptions {
             checkpoint_path: None,
             stop_after_pairs: None,
             static_filter: StaticFilterMode::Off,
+            parallel: ParallelOptions::default(),
         }
     }
 }
@@ -322,6 +333,11 @@ impl CampaignReport {
 /// The trial engine a campaign drives. The default ([`FuzzRunner`]) is the
 /// real Phase-2 scheduler; tests inject runners that panic or spin to
 /// exercise the fault-tolerance paths without corrupting a real engine.
+///
+/// `run_trial` takes `&self` because one runner is shared by every worker
+/// of a parallel campaign; runners needing mutable state should use
+/// interior mutability (atomics suffice for the fault-injection runners in
+/// this workspace's tests).
 pub trait TrialRunner {
     /// Runs one race-directed trial.
     ///
@@ -330,7 +346,7 @@ pub trait TrialRunner {
     /// Returns [`SetupError`] if `entry` does not name a zero-argument
     /// procedure.
     fn run_trial(
-        &mut self,
+        &self,
         program: &cil::Program,
         entry: &str,
         pair: RacePair,
@@ -344,7 +360,7 @@ pub struct FuzzRunner;
 
 impl TrialRunner for FuzzRunner {
     fn run_trial(
-        &mut self,
+        &self,
         program: &cil::Program,
         entry: &str,
         pair: RacePair,
@@ -386,6 +402,26 @@ enum Guarded {
     Setup(String),
 }
 
+/// Everything one pair's trials produced, before any of it touches job
+/// state. Workers build these off-thread; the main thread commits them in
+/// pair order ([`Campaign::commit_pair`]).
+struct PairRun {
+    report: PairReport,
+    failures: Vec<TrialFailure>,
+    quarantine: Option<QuarantinedPair>,
+    fatal: Option<String>,
+}
+
+/// How a job's pair loop ended.
+enum PairsProgress {
+    /// Every pair is committed.
+    Finished,
+    /// A job-fatal setup error; the job is marked done with an error.
+    JobStopped,
+    /// [`CampaignOptions::stop_after_pairs`] was reached.
+    Interrupted,
+}
+
 impl Campaign {
     /// Creates a campaign.
     pub fn new(jobs: Vec<CampaignJob>, options: CampaignOptions) -> Self {
@@ -400,7 +436,7 @@ impl Campaign {
     /// checkpoints or artifacts — trial and job failures are recorded in
     /// the report, never returned.
     pub fn run(&self) -> Result<CampaignReport, ArtifactError> {
-        self.run_with(&mut FuzzRunner)
+        self.run_with(&FuzzRunner)
     }
 
     /// Runs the campaign with a caller-supplied trial runner.
@@ -408,7 +444,10 @@ impl Campaign {
     /// # Errors
     ///
     /// See [`Campaign::run`].
-    pub fn run_with(&self, runner: &mut dyn TrialRunner) -> Result<CampaignReport, ArtifactError> {
+    pub fn run_with(
+        &self,
+        runner: &(dyn TrialRunner + Sync),
+    ) -> Result<CampaignReport, ArtifactError> {
         let (mut jobs, resumed) = self.restore_or_fresh();
         let mut pairs_this_run = 0usize;
 
@@ -417,17 +456,16 @@ impl Campaign {
                 continue;
             }
             let job = &self.jobs[index];
-            let state = &mut jobs[index];
 
-            if !state.predicted {
+            if !jobs[index].predicted {
                 match guarded_predict(job, &self.options.predict) {
                     Ok(potential) => {
-                        state.potential = potential;
-                        state.predicted = true;
+                        jobs[index].potential = potential;
+                        jobs[index].predicted = true;
                     }
                     Err(message) => {
-                        state.error = Some(message);
-                        state.done = true;
+                        jobs[index].error = Some(message);
+                        jobs[index].done = true;
                         self.save_checkpoint(&jobs)?;
                         continue;
                     }
@@ -445,65 +483,38 @@ impl Campaign {
                 }
             };
 
-            while jobs[index].next_pair < jobs[index].potential.len() {
-                let target = jobs[index].potential[jobs[index].next_pair];
-                if self.options.static_filter == StaticFilterMode::Prune {
-                    if let Some(reason) =
-                        filter.as_ref().and_then(|f| f.refute(&job.program, &target))
-                    {
-                        // Keep the report slot so `reports` stays a parallel
-                        // prefix of `potential`, but spend no trials.
-                        jobs[index].reports.push(PairReport::empty(target));
-                        jobs[index].quarantined.push(QuarantinedPair {
-                            pair: target,
-                            seed: self.options.base_seed,
-                            attempts: 0,
-                            reason: QuarantineReason::StaticallyPruned(reason),
-                        });
-                        jobs[index].next_pair += 1;
+            let progress = if self.options.parallel.is_parallel() {
+                self.run_pairs_parallel(
+                    runner,
+                    index,
+                    &mut jobs,
+                    filter.as_ref(),
+                    &mut pairs_this_run,
+                )?
+            } else {
+                self.run_pairs_sequential(
+                    runner,
+                    index,
+                    &mut jobs,
+                    filter.as_ref(),
+                    &mut pairs_this_run,
+                )?
+            };
+            match progress {
+                PairsProgress::Finished => {
+                    if !jobs[index].done {
+                        jobs[index].done = true;
                         self.save_checkpoint(&jobs)?;
-                        continue;
                     }
                 }
-                let fatal = self.fuzz_one_pair(runner, job, &mut jobs[index], target)?;
-                if self.options.static_filter == StaticFilterMode::Audit {
-                    let confirmed = jobs[index]
-                        .reports
-                        .last()
-                        .is_some_and(|report| report.target == target && report.is_real());
-                    if confirmed {
-                        if let Some(reason) =
-                            filter.as_ref().and_then(|f| f.refute(&job.program, &target))
-                        {
-                            jobs[index].soundness_bugs.push(format!(
-                                "pair {} was confirmed by fuzzing but statically refuted as {}",
-                                target.describe(&job.program),
-                                reason
-                            ));
-                        }
-                    }
-                }
-                if let Some(message) = fatal {
-                    jobs[index].error = Some(message);
-                    jobs[index].done = true;
-                    self.save_checkpoint(&jobs)?;
-                    break;
-                }
-                jobs[index].next_pair += 1;
-                self.save_checkpoint(&jobs)?;
-                pairs_this_run += 1;
-                if Some(pairs_this_run) == self.options.stop_after_pairs {
+                PairsProgress::JobStopped => {}
+                PairsProgress::Interrupted => {
                     return Ok(CampaignReport {
                         jobs,
                         interrupted: true,
                         resumed,
                     });
                 }
-            }
-
-            if !jobs[index].done {
-                jobs[index].done = true;
-                self.save_checkpoint(&jobs)?;
             }
         }
 
@@ -514,70 +525,215 @@ impl Campaign {
         })
     }
 
-    /// Runs all trials for one pair. Returns `Ok(Some(message))` on a
-    /// job-fatal setup error, `Ok(None)` otherwise.
-    fn fuzz_one_pair(
+    /// The pre-existing sequential pair loop: fuzz, commit, checkpoint,
+    /// advance — one pair at a time on the calling thread.
+    fn run_pairs_sequential(
         &self,
-        runner: &mut dyn TrialRunner,
-        job: &CampaignJob,
-        state: &mut JobOutcome,
-        target: RacePair,
-    ) -> Result<Option<String>, ArtifactError> {
-        let options = &self.options;
-        let mut report = PairReport::empty(target);
-        let mut quarantine: Option<QuarantinedPair> = None;
-
-        'trials: for trial in 0..options.trials_per_pair {
-            let seed = options.base_seed + trial as u64;
-            let mut budget = options.fuzz.max_steps;
-            let mut attempt: u32 = 1;
-            loop {
-                let config = FuzzConfig {
-                    seed,
-                    max_steps: budget,
-                    ..options.fuzz.clone()
-                };
-                match guarded_trial(runner, &job.program, &job.entry, target, &config) {
-                    Guarded::Completed(outcome) => {
-                        report.absorb(seed, &outcome, &job.program);
-                        break;
-                    }
-                    Guarded::Setup(message) => {
-                        return Ok(Some(format!("setup error: {message}")));
-                    }
-                    Guarded::Failed(kind, _) => {
-                        let failure = TrialFailure {
-                            pair: target,
-                            seed,
-                            attempt,
-                            step_budget: budget,
-                            kind: kind.clone(),
-                        };
-                        self.persist_artifact(job, state, &failure)?;
-                        state.failures.push(failure);
-                        if attempt >= options.max_attempts.max(1) {
-                            quarantine = Some(QuarantinedPair {
-                                pair: target,
-                                seed,
-                                attempts: attempt,
-                                reason: QuarantineReason::TrialFailures(kind.to_string()),
-                            });
-                            break 'trials;
-                        }
-                        attempt += 1;
-                        budget = budget
-                            .saturating_mul(options.backoff_factor.max(1))
-                            .min(options.max_step_budget);
-                    }
+        runner: &(dyn TrialRunner + Sync),
+        index: usize,
+        jobs: &mut [JobOutcome],
+        filter: Option<&StaticRaceFilter>,
+        pairs_this_run: &mut usize,
+    ) -> Result<PairsProgress, ArtifactError> {
+        let job = &self.jobs[index];
+        while jobs[index].next_pair < jobs[index].potential.len() {
+            let target = jobs[index].potential[jobs[index].next_pair];
+            if self.options.static_filter == StaticFilterMode::Prune {
+                if let Some(reason) = filter.and_then(|f| f.refute(&job.program, &target)) {
+                    self.commit_pruned(&mut jobs[index], target, reason);
+                    self.save_checkpoint(jobs)?;
+                    continue;
                 }
             }
+            let run = run_pair(runner, &job.program, &job.entry, target, &self.options);
+            let fatal = self.commit_pair(job, &mut jobs[index], run)?;
+            self.audit_pair(job, &mut jobs[index], filter, target);
+            if let Some(message) = fatal {
+                jobs[index].error = Some(message);
+                jobs[index].done = true;
+                self.save_checkpoint(jobs)?;
+                return Ok(PairsProgress::JobStopped);
+            }
+            jobs[index].next_pair += 1;
+            self.save_checkpoint(jobs)?;
+            *pairs_this_run += 1;
+            if Some(*pairs_this_run) == self.options.stop_after_pairs {
+                return Ok(PairsProgress::Interrupted);
+            }
         }
+        Ok(PairsProgress::Finished)
+    }
 
-        state.reports.push(report);
-        if let Some(entry) = quarantine {
+    /// The parallel pair loop: workers steal pair indices off an atomic
+    /// cursor and fuzz them concurrently (every trial still isolated by
+    /// `catch_unwind` inside its worker); the calling thread commits
+    /// finished pairs strictly in pair order through a reorder buffer, so
+    /// reports, artifact files, and every intermediate checkpoint are
+    /// byte-identical to [`Campaign::run_pairs_sequential`].
+    fn run_pairs_parallel(
+        &self,
+        runner: &(dyn TrialRunner + Sync),
+        index: usize,
+        jobs: &mut [JobOutcome],
+        filter: Option<&StaticRaceFilter>,
+        pairs_this_run: &mut usize,
+    ) -> Result<PairsProgress, ArtifactError> {
+        let job = &self.jobs[index];
+        let start = jobs[index].next_pair;
+        let total = jobs[index].potential.len();
+        if start >= total {
+            return Ok(PairsProgress::Finished);
+        }
+        let targets: Vec<RacePair> = jobs[index].potential[start..].to_vec();
+        // Prune decisions are made up front on this thread — the filter is
+        // deterministic and cheap — so workers do pure trial work.
+        let refuted: Vec<Option<PruneReason>> = targets
+            .iter()
+            .map(|target| {
+                if self.options.static_filter == StaticFilterMode::Prune {
+                    filter.and_then(|f| f.refute(&job.program, target))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let work: Vec<usize> = (0..targets.len())
+            .filter(|&offset| refuted[offset].is_none())
+            .collect();
+
+        let cursor = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let (sender, receiver) = mpsc::channel::<(usize, PairRun)>();
+        let worker_count = self.options.parallel.workers.max(1).min(work.len().max(1));
+
+        std::thread::scope(|scope| {
+            for _ in 0..worker_count {
+                let sender = sender.clone();
+                let (cursor, stop, work, targets) = (&cursor, &stop, &work, &targets);
+                scope.spawn(move || loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&offset) = work.get(slot) else {
+                        break;
+                    };
+                    let run = run_pair(runner, &job.program, &job.entry, targets[offset], &self.options);
+                    if sender.send((offset, run)).is_err() {
+                        break; // the commit loop returned early
+                    }
+                });
+            }
+            drop(sender);
+
+            let mut buffer: BTreeMap<usize, PairRun> = BTreeMap::new();
+            for offset in 0..targets.len() {
+                let target = targets[offset];
+                if let Some(reason) = refuted[offset] {
+                    self.commit_pruned(&mut jobs[index], target, reason);
+                    self.save_checkpoint(jobs)?;
+                    continue;
+                }
+                let run = loop {
+                    if let Some(run) = buffer.remove(&offset) {
+                        break run;
+                    }
+                    let (arrived, run) = receiver
+                        .recv()
+                        .expect("a worker exited without delivering its pair");
+                    if arrived == offset {
+                        break run;
+                    }
+                    buffer.insert(arrived, run);
+                };
+                let fatal = self.commit_pair(job, &mut jobs[index], run)?;
+                self.audit_pair(job, &mut jobs[index], filter, target);
+                if let Some(message) = fatal {
+                    stop.store(true, Ordering::Relaxed);
+                    jobs[index].error = Some(message);
+                    jobs[index].done = true;
+                    self.save_checkpoint(jobs)?;
+                    return Ok(PairsProgress::JobStopped);
+                }
+                jobs[index].next_pair += 1;
+                self.save_checkpoint(jobs)?;
+                *pairs_this_run += 1;
+                if Some(*pairs_this_run) == self.options.stop_after_pairs {
+                    // Workers stop stealing; whatever they finish after this
+                    // point is discarded, and the resumed run redoes it —
+                    // repeated work is deterministic work.
+                    stop.store(true, Ordering::Relaxed);
+                    return Ok(PairsProgress::Interrupted);
+                }
+            }
+            Ok(PairsProgress::Finished)
+        })
+    }
+
+    /// Commits a statically refuted pair: an empty report keeps `reports` a
+    /// parallel prefix of `potential`, and no trials are spent.
+    fn commit_pruned(&self, state: &mut JobOutcome, target: RacePair, reason: PruneReason) {
+        state.reports.push(PairReport::empty(target));
+        state.quarantined.push(QuarantinedPair {
+            pair: target,
+            seed: self.options.base_seed,
+            attempts: 0,
+            reason: QuarantineReason::StaticallyPruned(reason),
+        });
+        state.next_pair += 1;
+    }
+
+    /// Commits one pair's [`PairRun`] to job state: artifacts and failure
+    /// records first (in seed order), then the report and any quarantine.
+    /// Returns the job-fatal message, if the pair hit a setup error.
+    fn commit_pair(
+        &self,
+        job: &CampaignJob,
+        state: &mut JobOutcome,
+        run: PairRun,
+    ) -> Result<Option<String>, ArtifactError> {
+        for failure in run.failures {
+            self.persist_artifact(job, state, &failure)?;
+            state.failures.push(failure);
+        }
+        if run.fatal.is_some() {
+            // Match the historical sequential behavior: a setup error
+            // abandons the pair without pushing its partial report.
+            return Ok(run.fatal);
+        }
+        state.reports.push(run.report);
+        if let Some(entry) = run.quarantine {
             state.quarantined.push(entry);
         }
         Ok(None)
+    }
+
+    /// [`StaticFilterMode::Audit`]: record a soundness bug if a pair just
+    /// confirmed by fuzzing is one the static filter would have refuted.
+    fn audit_pair(
+        &self,
+        job: &CampaignJob,
+        state: &mut JobOutcome,
+        filter: Option<&StaticRaceFilter>,
+        target: RacePair,
+    ) {
+        if self.options.static_filter != StaticFilterMode::Audit {
+            return;
+        }
+        let confirmed = state
+            .reports
+            .last()
+            .is_some_and(|report| report.target == target && report.is_real());
+        if !confirmed {
+            return;
+        }
+        if let Some(reason) = filter.and_then(|f| f.refute(&job.program, &target)) {
+            state.soundness_bugs.push(format!(
+                "pair {} was confirmed by fuzzing but statically refuted as {}",
+                target.describe(&job.program),
+                reason
+            ));
+        }
     }
 
     fn persist_artifact(
@@ -679,7 +835,7 @@ impl Campaign {
     /// not the program the failure was recorded on, or
     /// [`ArtifactError::Malformed`] if no job matches the artifact's name.
     pub fn reproduce(&self, artifact: &FailureArtifact) -> Result<Reproduction, ArtifactError> {
-        self.reproduce_with(&mut FuzzRunner, artifact)
+        self.reproduce_with(&FuzzRunner, artifact)
     }
 
     /// [`Campaign::reproduce`] with a caller-supplied trial runner.
@@ -689,7 +845,7 @@ impl Campaign {
     /// See [`Campaign::reproduce`].
     pub fn reproduce_with(
         &self,
-        runner: &mut dyn TrialRunner,
+        runner: &dyn TrialRunner,
         artifact: &FailureArtifact,
     ) -> Result<Reproduction, ArtifactError> {
         let job = self
@@ -716,7 +872,7 @@ impl Campaign {
 pub fn reproduce_on(
     program: &cil::Program,
     entry: &str,
-    runner: &mut dyn TrialRunner,
+    runner: &dyn TrialRunner,
     artifact: &FailureArtifact,
 ) -> Result<Reproduction, ArtifactError> {
     let digest = program_digest(program);
@@ -742,8 +898,72 @@ pub fn reproduce_on(
     }
 }
 
+/// Runs every trial of one pair — retries, backoff, quarantine — without
+/// touching any shared state. Both the sequential loop and the parallel
+/// workers use this; the difference is only *where* it runs and when the
+/// resulting [`PairRun`] is committed.
+fn run_pair(
+    runner: &dyn TrialRunner,
+    program: &cil::Program,
+    entry: &str,
+    target: RacePair,
+    options: &CampaignOptions,
+) -> PairRun {
+    let mut run = PairRun {
+        report: PairReport::empty(target),
+        failures: Vec::new(),
+        quarantine: None,
+        fatal: None,
+    };
+    'trials: for trial in 0..options.trials_per_pair {
+        let seed = options.base_seed + trial as u64;
+        let mut budget = options.fuzz.max_steps;
+        let mut attempt: u32 = 1;
+        loop {
+            let config = FuzzConfig {
+                seed,
+                max_steps: budget,
+                ..options.fuzz.clone()
+            };
+            match guarded_trial(runner, program, entry, target, &config) {
+                Guarded::Completed(outcome) => {
+                    run.report.absorb(seed, &outcome, program);
+                    break;
+                }
+                Guarded::Setup(message) => {
+                    run.fatal = Some(format!("setup error: {message}"));
+                    break 'trials;
+                }
+                Guarded::Failed(kind, _) => {
+                    run.failures.push(TrialFailure {
+                        pair: target,
+                        seed,
+                        attempt,
+                        step_budget: budget,
+                        kind: kind.clone(),
+                    });
+                    if attempt >= options.max_attempts.max(1) {
+                        run.quarantine = Some(QuarantinedPair {
+                            pair: target,
+                            seed,
+                            attempts: attempt,
+                            reason: QuarantineReason::TrialFailures(kind.to_string()),
+                        });
+                        break 'trials;
+                    }
+                    attempt += 1;
+                    budget = budget
+                        .saturating_mul(options.backoff_factor.max(1))
+                        .min(options.max_step_budget);
+                }
+            }
+        }
+    }
+    run
+}
+
 fn guarded_trial(
-    runner: &mut dyn TrialRunner,
+    runner: &dyn TrialRunner,
     program: &cil::Program,
     entry: &str,
     pair: RacePair,

@@ -119,7 +119,7 @@ struct PanicOnSeed {
 
 impl TrialRunner for PanicOnSeed {
     fn run_trial(
-        &mut self,
+        &self,
         program: &cil::Program,
         entry: &str,
         pair: RacePair,
@@ -145,11 +145,11 @@ fn panicking_trial_writes_artifact_and_reproduce_replays_it() {
         ..CampaignOptions::default()
     };
     let campaign = Campaign::new(vec![figure1_job()], options);
-    let mut runner = PanicOnSeed {
+    let runner = PanicOnSeed {
         seed: 4,
         inner: FuzzRunner,
     };
-    let report = campaign.run_with(&mut runner).unwrap();
+    let report = campaign.run_with(&runner).unwrap();
     assert!(report.completed());
     let job = &report.jobs[0];
 
@@ -181,12 +181,12 @@ fn panicking_trial_writes_artifact_and_reproduce_replays_it() {
         if message.contains("cursed")));
 
     // Reproduce with the same faulty runner: the identical panic replays.
-    let mut replay_runner = PanicOnSeed {
+    let replay_runner = PanicOnSeed {
         seed: 4,
         inner: FuzzRunner,
     };
     let reproduction = campaign
-        .reproduce_with(&mut replay_runner, &artifact)
+        .reproduce_with(&replay_runner, &artifact)
         .unwrap();
     assert!(reproduction.matches(&artifact));
     assert_eq!(reproduction.kind, Some(artifact.kind.clone()));
@@ -260,7 +260,7 @@ struct PanicOnProgram {
 
 impl TrialRunner for PanicOnProgram {
     fn run_trial(
-        &mut self,
+        &self,
         program: &cil::Program,
         entry: &str,
         pair: RacePair,
@@ -297,11 +297,11 @@ fn campaign_over_all_workloads_survives_one_bad_workload() {
         ..CampaignOptions::default()
     };
     let campaign = Campaign::new(jobs, options);
-    let mut runner = PanicOnProgram {
+    let runner = PanicOnProgram {
         digest: bad_digest,
         inner: FuzzRunner,
     };
-    let report = campaign.run_with(&mut runner).unwrap();
+    let report = campaign.run_with(&runner).unwrap();
 
     // The campaign finished; the bad workload's pairs are all quarantined
     // with the injected reason; every other pair still yielded a full
@@ -324,4 +324,66 @@ fn campaign_over_all_workloads_survives_one_bad_workload() {
         }
     }
     assert!(saw_real_race, "healthy workloads still confirm races");
+}
+
+fn render_reports(report: &campaign::CampaignReport) -> String {
+    format!(
+        "{:?}",
+        report.jobs.iter().map(|job| &job.reports).collect::<Vec<_>>()
+    )
+}
+
+#[test]
+fn parallel_campaign_matches_sequential_and_survives_interruption() {
+    let dir = temp_dir("parallel-resume");
+    let checkpoint = dir.join("checkpoint.json");
+    let jobs = || {
+        vec![
+            figure1_job(),
+            CampaignJob::new("figure2", workloads::figure2(3), "main"),
+        ]
+    };
+    let base_options = CampaignOptions {
+        trials_per_pair: 8,
+        ..CampaignOptions::default()
+    };
+
+    // Reference: one uninterrupted sequential run.
+    let reference = Campaign::new(jobs(), base_options.clone()).run().unwrap();
+    assert!(reference.completed());
+
+    // A full parallel run commits the same reports, failures, and
+    // quarantines as the sequential one.
+    let parallel_options = CampaignOptions {
+        parallel: racefuzzer::ParallelOptions::with_workers(4),
+        ..base_options.clone()
+    };
+    let parallel = Campaign::new(jobs(), parallel_options.clone()).run().unwrap();
+    assert!(parallel.completed());
+    assert_eq!(render_reports(&parallel), render_reports(&reference));
+    assert_eq!(parallel.failure_count(), reference.failure_count());
+    assert_eq!(parallel.quarantine_count(), reference.quarantine_count());
+
+    // Kill a parallel campaign after every committed pair; each resumed
+    // invocation picks up from the checkpoint with 4 workers. Uncommitted
+    // worker results are discarded at interruption and redone — the final
+    // reports must still match the sequential reference byte for byte.
+    let mut resumed_any = false;
+    let final_report = loop {
+        let options = CampaignOptions {
+            checkpoint_path: Some(checkpoint.clone()),
+            stop_after_pairs: Some(1),
+            ..parallel_options.clone()
+        };
+        let report = Campaign::new(jobs(), options).run().unwrap();
+        resumed_any |= report.resumed;
+        if !report.interrupted {
+            break report;
+        }
+    };
+    assert!(resumed_any, "later invocations must resume from disk");
+    assert!(final_report.completed());
+    assert_eq!(render_reports(&final_report), render_reports(&reference));
+
+    std::fs::remove_dir_all(&dir).ok();
 }

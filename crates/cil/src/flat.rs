@@ -14,7 +14,7 @@ use crate::intern::{Interner, Symbol};
 use crate::span::Span;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident) => {
@@ -77,7 +77,7 @@ pub enum Const {
     /// Boolean.
     Bool(bool),
     /// String.
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// The null reference.
     Null,
 }
@@ -323,14 +323,14 @@ pub enum Instr {
         /// Must hold.
         cond: PureExpr,
         /// Failure message.
-        message: Rc<str>,
+        message: Arc<str>,
     },
     /// Throw a named exception.
     Throw {
         /// The exception name.
         exception: Symbol,
         /// Optional detail message.
-        message: Option<Rc<str>>,
+        message: Option<Arc<str>>,
     },
     /// Enter a `try` region; pushed handlers are popped by `ExitTry` or
     /// consumed by unwinding.
@@ -426,7 +426,7 @@ pub struct ProcInfo {
     /// Number of parameters (the first `param_count` local slots).
     pub param_count: usize,
     /// Names of all local slots (params, declared locals, then temps).
-    pub local_names: Vec<Rc<str>>,
+    pub local_names: Vec<Arc<str>>,
     /// First instruction.
     pub entry: InstrId,
     /// One past the last instruction.
@@ -480,6 +480,11 @@ impl BuiltinExceptions {
 }
 
 /// A fully lowered, executable CIL program.
+///
+/// A `Program` is immutable after lowering and all its shared strings are
+/// `Arc`-backed, so it is `Send + Sync`: compile once, then fan trials out
+/// across a worker pool against the same `&Program` (the paper's §1
+/// "performance … can be increased linearly with the number of processors").
 #[derive(Clone, Debug)]
 pub struct Program {
     /// Name table.

@@ -4,10 +4,14 @@
 //! interned to small integer [`Symbol`]s so that the interpreter and the race
 //! detector can compare and hash names in O(1) — memory-location identity in
 //! the detector is `(object, field-symbol)`.
+//!
+//! The tables are `Arc`-backed so a compiled [`crate::Program`] is
+//! `Send + Sync`: one compilation can be shared by every worker of a
+//! parallel fuzzing pool instead of being recompiled per thread.
 
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An interned string. Cheap to copy, compare, and hash.
 ///
@@ -44,8 +48,8 @@ impl fmt::Debug for Symbol {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Interner {
-    names: Vec<Rc<str>>,
-    indices: HashMap<Rc<str>, Symbol>,
+    names: Vec<Arc<str>>,
+    indices: HashMap<Arc<str>, Symbol>,
 }
 
 impl Interner {
@@ -59,10 +63,10 @@ impl Interner {
         if let Some(&symbol) = self.indices.get(name) {
             return symbol;
         }
-        let rc: Rc<str> = Rc::from(name);
+        let shared: Arc<str> = Arc::from(name);
         let symbol = Symbol(self.names.len() as u32);
-        self.names.push(Rc::clone(&rc));
-        self.indices.insert(rc, symbol);
+        self.names.push(Arc::clone(&shared));
+        self.indices.insert(shared, symbol);
         symbol
     }
 

@@ -22,7 +22,7 @@ use crate::flat::*;
 use crate::intern::Interner;
 use crate::span::Span;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Lowers a checked module. Infallible: the checker has already rejected
 /// every malformed input.
@@ -93,7 +93,7 @@ fn literal_to_const(literal: &Literal) -> Const {
     match literal {
         Literal::Int(value) => Const::Int(*value),
         Literal::Bool(value) => Const::Bool(*value),
-        Literal::Str(text) => Const::Str(Rc::from(text.as_str())),
+        Literal::Str(text) => Const::Str(Arc::from(text.as_str())),
         Literal::Null => Const::Null,
     }
 }
@@ -108,7 +108,7 @@ struct Lowerer<'a> {
     spans: Vec<Span>,
     tags: HashMap<String, Vec<InstrId>>,
     // Per-proc state:
-    locals: Vec<Rc<str>>,
+    locals: Vec<Arc<str>>,
     scopes: Vec<HashMap<String, LocalId>>,
     temp_count: usize,
 }
@@ -165,7 +165,7 @@ impl Lowerer<'_> {
 
     fn new_local(&mut self, name: &str) -> LocalId {
         let id = LocalId(self.locals.len() as u32);
-        self.locals.push(Rc::from(name));
+        self.locals.push(Arc::from(name));
         id
     }
 
@@ -421,12 +421,12 @@ impl Lowerer<'_> {
             }
             StmtKind::Assert { cond, message } => {
                 let cond = self.lower_expr(cond);
-                let message: Rc<str> = Rc::from(message.as_deref().unwrap_or("assertion failed"));
+                let message: Arc<str> = Arc::from(message.as_deref().unwrap_or("assertion failed"));
                 self.emit(Instr::Assert { cond, message }, span);
             }
             StmtKind::Throw { exception, message } => {
                 let exception = self.interner.intern(exception);
-                let message = message.as_deref().map(Rc::from);
+                let message = message.as_deref().map(Arc::from);
                 self.emit(Instr::Throw { exception, message }, span);
             }
             StmtKind::Try {

@@ -1,0 +1,44 @@
+//! Compile-time thread-safety contract of the compiled program.
+//!
+//! Parallel Phase-2 execution shares **one** compiled [`cil::Program`]
+//! across every worker of the trial pool, so `Program` (and everything a
+//! program transitively owns) must be `Send + Sync`. This test is a
+//! compile-time assertion: if anyone reintroduces an `Rc`, a `Cell`, or any
+//! other single-threaded type into the program representation, this file
+//! stops compiling — long before a data race could exist.
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn program_is_send_and_sync() {
+    assert_send_sync::<cil::Program>();
+    assert_send_sync::<cil::Interner>();
+    assert_send_sync::<cil::flat::Instr>();
+    assert_send_sync::<cil::flat::ProcInfo>();
+    assert_send_sync::<cil::Const>();
+}
+
+#[test]
+fn one_compilation_is_shareable_across_threads() {
+    use std::sync::Arc;
+
+    let program = Arc::new(
+        cil::compile(
+            r#"
+            global x = 0;
+            proc child() { x = 1; }
+            proc main() { var t = spawn child(); join t; }
+            "#,
+        )
+        .unwrap(),
+    );
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let shared = Arc::clone(&program);
+            std::thread::spawn(move || shared.proc_named("main").is_some())
+        })
+        .collect();
+    for handle in handles {
+        assert!(handle.join().unwrap());
+    }
+}

@@ -25,7 +25,7 @@ use cil::flat::{Instr, InstrId, LocalId, ProcId, PureExpr};
 use cil::{Program, Symbol};
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Error constructing an [`Execution`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -102,7 +102,7 @@ pub enum StepResult {
 #[derive(Clone, Debug)]
 struct Thrown {
     name: Symbol,
-    message: Option<Rc<str>>,
+    message: Option<Arc<str>>,
     at: InstrId,
 }
 
@@ -220,20 +220,51 @@ impl<'p> Execution<'p> {
 
     /// `Alive(s)`: threads that have not terminated.
     pub fn alive(&self) -> Vec<ThreadId> {
-        self.threads
-            .iter()
-            .filter(|thread| thread.is_alive())
-            .map(|thread| thread.id)
-            .collect()
+        let mut out = Vec::new();
+        self.alive_into(&mut out);
+        out
+    }
+
+    /// [`Execution::alive`] into a caller-owned buffer — schedulers that
+    /// poll every decision reuse one allocation for the whole run.
+    pub fn alive_into(&self, out: &mut Vec<ThreadId>) {
+        out.clear();
+        out.extend(
+            self.threads
+                .iter()
+                .filter(|thread| thread.is_alive())
+                .map(|thread| thread.id),
+        );
+    }
+
+    /// `true` if any thread has not terminated, without allocating.
+    pub fn has_alive(&self) -> bool {
+        self.threads.iter().any(|thread| thread.is_alive())
     }
 
     /// `Enabled(s)`: alive threads whose next statement can execute now.
     pub fn enabled(&self) -> Vec<ThreadId> {
-        self.threads
-            .iter()
-            .filter(|thread| self.is_enabled(thread.id))
-            .map(|thread| thread.id)
-            .collect()
+        let mut out = Vec::new();
+        self.enabled_into(&mut out);
+        out
+    }
+
+    /// [`Execution::enabled`] into a caller-owned buffer — the per-decision
+    /// `Vec` allocation this avoids is measurable once trials run on every
+    /// core (the cost parallelism multiplies).
+    pub fn enabled_into(&self, out: &mut Vec<ThreadId>) {
+        out.clear();
+        out.extend(
+            self.threads
+                .iter()
+                .filter(|thread| self.is_enabled(thread.id))
+                .map(|thread| thread.id),
+        );
+    }
+
+    /// `true` if any thread is enabled, without allocating.
+    pub fn has_enabled(&self) -> bool {
+        self.threads.iter().any(|thread| self.is_enabled(thread.id))
     }
 
     /// Whether a single thread is enabled.
@@ -267,7 +298,7 @@ impl<'p> Execution<'p> {
     /// `true` when no thread is enabled but some are alive — the paper's
     /// deadlock condition (Algorithm 1, line 30).
     pub fn is_deadlocked(&self) -> bool {
-        self.enabled().is_empty() && !self.alive().is_empty()
+        !self.has_enabled() && self.has_alive()
     }
 
     /// `NextStmt(s, t)`: the instruction `t` would execute next, when `t` is
@@ -420,13 +451,15 @@ impl<'p> Execution<'p> {
     fn throw(&self, name: Symbol, message: impl Into<String>, at: InstrId) -> Thrown {
         Thrown {
             name,
-            message: Some(Rc::from(message.into().as_str())),
+            message: Some(Arc::from(message.into().as_str())),
             at,
         }
     }
 
-    fn local(&self, thread: ThreadId, slot: LocalId) -> Value {
-        self.threads[thread.index()].frame().locals[slot.index()].clone()
+    /// Borrows a local slot without cloning the value — the hot-path way
+    /// to inspect a lock/handle operand.
+    fn local_ref(&self, thread: ThreadId, slot: LocalId) -> &Value {
+        &self.threads[thread.index()].frame().locals[slot.index()]
     }
 
     fn set_local(&mut self, thread: ThreadId, slot: LocalId, value: Value) {
@@ -548,9 +581,9 @@ impl<'p> Execution<'p> {
         }
     }
 
-    fn as_ref(&self, value: Value, what: &str, at: InstrId) -> Result<ObjId, Thrown> {
+    fn as_ref(&self, value: &Value, what: &str, at: InstrId) -> Result<ObjId, Thrown> {
         match value {
-            Value::Ref(obj) => Ok(obj),
+            Value::Ref(obj) => Ok(*obj),
             Value::Null => Err(self.throw(
                 self.program.builtins.null_pointer,
                 format!("{what} is null"),
@@ -590,30 +623,32 @@ impl<'p> Execution<'p> {
         observer: &mut dyn Observer,
     ) -> Result<bool, Thrown> {
         let builtins = self.program.builtins;
-        // Clone is cheap relative to interpretation and sidesteps borrow
-        // conflicts between the instruction (borrowed from the program) and
-        // mutable machine state.
-        let instr = self.program.instr(pc).clone();
+        // `self.program` is `&'p Program`, so the instruction can be
+        // borrowed at lifetime `'p` — independent of `&mut self` — and the
+        // old per-step `Instr::clone()` (a `Vec`/`Box` deep copy for
+        // call-/spawn-shaped instructions) disappears from the hot path.
+        let program: &'p Program = self.program;
+        let instr: &'p Instr = program.instr(pc);
         match instr {
             Instr::Assign { dst, expr } => {
-                let value = self.eval(thread, &expr, pc)?;
-                self.set_local(thread, dst, value);
+                let value = self.eval(thread, expr, pc)?;
+                self.set_local(thread, *dst, value);
                 self.advance(thread);
             }
             Instr::LoadGlobal { dst, global } => {
                 let value = self.globals[global.index()].clone();
-                self.emit_mem(observer, thread, pc, Loc::Global(global), false);
-                self.set_local(thread, dst, value);
+                self.emit_mem(observer, thread, pc, Loc::Global(*global), false);
+                self.set_local(thread, *dst, value);
                 self.advance(thread);
             }
             Instr::StoreGlobal { global, src } => {
-                let value = self.eval(thread, &src, pc)?;
-                self.emit_mem(observer, thread, pc, Loc::Global(global), true);
+                let value = self.eval(thread, src, pc)?;
+                self.emit_mem(observer, thread, pc, Loc::Global(*global), true);
                 self.globals[global.index()] = value;
                 self.advance(thread);
             }
-            Instr::LoadField { dst, obj, field } => {
-                let target = self.as_ref(self.local(thread, obj), "field receiver", pc)?;
+            &Instr::LoadField { dst, obj, field } => {
+                let target = self.as_ref(self.local_ref(thread, obj), "field receiver", pc)?;
                 let slot = self.field_slot(target, field, pc)?;
                 self.emit_mem(observer, thread, pc, Loc::Field(target, field), false);
                 let value = match self.heap.cell(target) {
@@ -624,10 +659,10 @@ impl<'p> Execution<'p> {
                 self.advance(thread);
             }
             Instr::StoreField { obj, field, src } => {
-                let target = self.as_ref(self.local(thread, obj), "field receiver", pc)?;
-                let slot = self.field_slot(target, field, pc)?;
-                let value = self.eval(thread, &src, pc)?;
-                self.emit_mem(observer, thread, pc, Loc::Field(target, field), true);
+                let target = self.as_ref(self.local_ref(thread, *obj), "field receiver", pc)?;
+                let slot = self.field_slot(target, *field, pc)?;
+                let value = self.eval(thread, src, pc)?;
+                self.emit_mem(observer, thread, pc, Loc::Field(target, *field), true);
                 match self.heap.cell_mut(target) {
                     HeapCell::Object { fields, .. } => fields[slot] = value,
                     HeapCell::Array { .. } => unreachable!("field_slot checked object"),
@@ -635,18 +670,18 @@ impl<'p> Execution<'p> {
                 self.advance(thread);
             }
             Instr::LoadElem { dst, arr, idx } => {
-                let (target, index) = self.resolve_elem(thread, arr, &idx, pc)?;
+                let (target, index) = self.resolve_elem(thread, *arr, idx, pc)?;
                 self.emit_mem(observer, thread, pc, Loc::Elem(target, index), false);
                 let value = match self.heap.cell(target) {
                     HeapCell::Array { elems } => elems[index as usize].clone(),
                     HeapCell::Object { .. } => unreachable!("resolve_elem checked array"),
                 };
-                self.set_local(thread, dst, value);
+                self.set_local(thread, *dst, value);
                 self.advance(thread);
             }
             Instr::StoreElem { arr, idx, src } => {
-                let (target, index) = self.resolve_elem(thread, arr, &idx, pc)?;
-                let value = self.eval(thread, &src, pc)?;
+                let (target, index) = self.resolve_elem(thread, *arr, idx, pc)?;
+                let value = self.eval(thread, src, pc)?;
                 self.emit_mem(observer, thread, pc, Loc::Elem(target, index), true);
                 match self.heap.cell_mut(target) {
                     HeapCell::Array { elems } => elems[index as usize] = value,
@@ -654,14 +689,14 @@ impl<'p> Execution<'p> {
                 }
                 self.advance(thread);
             }
-            Instr::New { dst, class } => {
+            &Instr::New { dst, class } => {
                 let field_count = self.program.classes[class.index()].fields.len();
                 let obj = self.heap.alloc_object(class, field_count);
                 self.set_local(thread, dst, Value::Ref(obj));
                 self.advance(thread);
             }
             Instr::NewArray { dst, len } => {
-                let len = match self.eval(thread, &len, pc)? {
+                let len = match self.eval(thread, len, pc)? {
                     Value::Int(n) if n >= 0 => n as usize,
                     Value::Int(n) => {
                         return Err(self.throw(
@@ -679,11 +714,11 @@ impl<'p> Execution<'p> {
                     }
                 };
                 let obj = self.heap.alloc_array(len);
-                self.set_local(thread, dst, Value::Ref(obj));
+                self.set_local(thread, *dst, Value::Ref(obj));
                 self.advance(thread);
             }
-            Instr::Lock { obj, monitor } => {
-                let target = self.as_ref(self.local(thread, obj), "lock target", pc)?;
+            &Instr::Lock { obj, monitor } => {
+                let target = self.as_ref(self.local_ref(thread, obj), "lock target", pc)?;
                 debug_assert!(self.locks.available_to(target, thread));
                 let outermost = self.threads[thread.index()].push_hold(target, 1);
                 if outermost {
@@ -702,8 +737,8 @@ impl<'p> Execution<'p> {
                 }
                 self.advance(thread);
             }
-            Instr::Unlock { obj, monitor } => {
-                let target = self.as_ref(self.local(thread, obj), "unlock target", pc)?;
+            &Instr::Unlock { obj, monitor } => {
+                let target = self.as_ref(self.local_ref(thread, obj), "unlock target", pc)?;
                 if self.threads[thread.index()].hold_depth(target) == 0 {
                     return Err(self.throw(
                         builtins.illegal_monitor_state,
@@ -724,8 +759,8 @@ impl<'p> Execution<'p> {
                 self.release_one(thread, target, pc, observer);
                 self.advance(thread);
             }
-            Instr::Wait { obj } => {
-                let target = self.as_ref(self.local(thread, obj), "wait target", pc)?;
+            &Instr::Wait { obj } => {
+                let target = self.as_ref(self.local_ref(thread, obj), "wait target", pc)?;
                 let depth = self.threads[thread.index()].hold_depth(target);
                 if depth == 0 {
                     return Err(self.throw(
@@ -757,8 +792,8 @@ impl<'p> Execution<'p> {
                 self.threads[thread.index()].status = Status::Waiting { obj: target, depth };
                 // pc stays at the wait; it advances when the wait completes.
             }
-            Instr::Notify { obj } => {
-                let target = self.as_ref(self.local(thread, obj), "notify target", pc)?;
+            &Instr::Notify { obj } => {
+                let target = self.as_ref(self.local_ref(thread, obj), "notify target", pc)?;
                 if self.threads[thread.index()].hold_depth(target) == 0 {
                     return Err(self.throw(
                         builtins.illegal_monitor_state,
@@ -771,8 +806,8 @@ impl<'p> Execution<'p> {
                 }
                 self.advance(thread);
             }
-            Instr::NotifyAll { obj } => {
-                let target = self.as_ref(self.local(thread, obj), "notifyall target", pc)?;
+            &Instr::NotifyAll { obj } => {
+                let target = self.as_ref(self.local_ref(thread, obj), "notifyall target", pc)?;
                 if self.threads[thread.index()].hold_depth(target) == 0 {
                     return Err(self.throw(
                         builtins.illegal_monitor_state,
@@ -787,26 +822,26 @@ impl<'p> Execution<'p> {
             }
             Instr::Spawn { dst, proc, args } => {
                 let mut values = Vec::with_capacity(args.len());
-                for arg in &args {
+                for arg in args {
                     values.push(self.eval(thread, arg, pc)?);
                 }
-                let child = self.spawn_thread(proc, values);
+                let child = self.spawn_thread(*proc, values);
                 observer.on_event(&Event::ThreadSpawned {
                     parent: thread,
                     child,
-                    proc,
+                    proc: *proc,
                 });
                 let msg = self.next_msg();
                 observer.on_event(&Event::Send { msg, thread });
                 observer.on_event(&Event::Recv { msg, thread: child });
                 if let Some(dst) = dst {
-                    self.set_local(thread, dst, Value::Thread(child));
+                    self.set_local(thread, *dst, Value::Thread(child));
                 }
                 self.advance(thread);
             }
-            Instr::Join { thread: handle } => {
-                let target = match self.local(thread, handle) {
-                    Value::Thread(target) => target,
+            &Instr::Join { thread: handle } => {
+                let target = match self.local_ref(thread, handle) {
+                    Value::Thread(target) => *target,
                     Value::Null => {
                         return Err(self.throw(builtins.null_pointer, "join of null", pc));
                     }
@@ -831,9 +866,9 @@ impl<'p> Execution<'p> {
                 observer.on_event(&Event::Recv { msg, thread });
                 self.advance(thread);
             }
-            Instr::Interrupt { thread: handle } => {
-                let target = match self.local(thread, handle) {
-                    Value::Thread(target) => target,
+            &Instr::Interrupt { thread: handle } => {
+                let target = match self.local_ref(thread, handle) {
+                    Value::Thread(target) => *target,
                     Value::Null => {
                         return Err(self.throw(builtins.null_pointer, "interrupt of null", pc));
                     }
@@ -849,7 +884,7 @@ impl<'p> Execution<'p> {
                 self.advance(thread);
             }
             Instr::Sleep { duration } => {
-                match self.eval(thread, &duration, pc)? {
+                match self.eval(thread, duration, pc)? {
                     Value::Int(_) => {}
                     other => {
                         return Err(self.throw(
@@ -871,25 +906,26 @@ impl<'p> Execution<'p> {
             }
             Instr::Call { dst, proc, args } => {
                 let mut values = Vec::with_capacity(args.len());
-                for arg in &args {
+                for arg in args {
                     values.push(self.eval(thread, arg, pc)?);
                 }
                 let info = &self.program.procs[proc.index()];
                 let mut locals = vec![Value::Null; info.local_count()];
-                locals[..values.len()].clone_from_slice(&values);
+                let filled = values.len();
+                locals[..filled].swap_with_slice(&mut values);
                 // Return resumes *after* the call.
                 self.advance(thread);
                 self.threads[thread.index()].frames.push(Frame {
-                    proc,
+                    proc: *proc,
                     pc: info.entry,
                     locals,
-                    ret_dst: dst,
+                    ret_dst: *dst,
                     protections: Vec::new(),
                 });
             }
             Instr::Return { value } => {
                 let result = match value {
-                    Some(expr) => self.eval(thread, &expr, pc)?,
+                    Some(expr) => self.eval(thread, expr, pc)?,
                     None => Value::Null,
                 };
                 // Release structured monitors opened in this frame.
@@ -912,7 +948,7 @@ impl<'p> Execution<'p> {
                     self.set_local(thread, dst, result);
                 }
             }
-            Instr::Jump { target } => {
+            &Instr::Jump { target } => {
                 self.threads[thread.index()].frame_mut().pc = target;
             }
             Instr::Branch {
@@ -920,17 +956,17 @@ impl<'p> Execution<'p> {
                 if_true,
                 if_false,
             } => {
-                let value = self.eval(thread, &cond, pc)?;
+                let value = self.eval(thread, cond, pc)?;
                 let taken = self.as_bool(value, pc)?;
                 self.threads[thread.index()].frame_mut().pc =
-                    if taken { if_true } else { if_false };
+                    if taken { *if_true } else { *if_false };
             }
             Instr::Assert { cond, message } => {
-                let value = self.eval(thread, &cond, pc)?;
+                let value = self.eval(thread, cond, pc)?;
                 if !self.as_bool(value, pc)? {
                     return Err(Thrown {
                         name: builtins.assertion,
-                        message: Some(message),
+                        message: Some(Arc::clone(message)),
                         at: pc,
                     });
                 }
@@ -938,8 +974,8 @@ impl<'p> Execution<'p> {
             }
             Instr::Throw { exception, message } => {
                 return Err(Thrown {
-                    name: exception,
-                    message,
+                    name: *exception,
+                    message: message.clone(),
                     at: pc,
                 });
             }
@@ -947,7 +983,10 @@ impl<'p> Execution<'p> {
                 self.threads[thread.index()]
                     .frame_mut()
                     .protections
-                    .push(Protection::Catch { handler, catches });
+                    .push(Protection::Catch {
+                        handler: *handler,
+                        catches: catches.clone(),
+                    });
                 self.advance(thread);
             }
             Instr::ExitTry => {
@@ -960,7 +999,7 @@ impl<'p> Execution<'p> {
             }
             Instr::Print { value } => {
                 let text = match value {
-                    Some(expr) => self.eval(thread, &expr, pc)?.to_string(),
+                    Some(expr) => self.eval(thread, expr, pc)?.to_string(),
                     None => String::new(),
                 };
                 self.output.push(text);
@@ -1003,7 +1042,7 @@ impl<'p> Execution<'p> {
         idx: &PureExpr,
         pc: InstrId,
     ) -> Result<(ObjId, u32), Thrown> {
-        let target = self.as_ref(self.local(thread, arr), "array", pc)?;
+        let target = self.as_ref(self.local_ref(thread, arr), "array", pc)?;
         let Some(len) = self.heap.array_len(target) else {
             return Err(self.throw(
                 self.program.builtins.type_error,

@@ -4,7 +4,7 @@ use crate::event::MsgId;
 use crate::value::{ObjId, ThreadId, Value};
 use cil::flat::{CatchKinds, InstrId, LocalId, ProcId};
 use cil::Symbol;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An entry on a frame's protection stack, unwound on exceptions.
 #[derive(Clone, Debug)]
@@ -77,7 +77,7 @@ pub struct UncaughtException {
     /// The exception name.
     pub name: Symbol,
     /// Optional detail message.
-    pub message: Option<Rc<str>>,
+    pub message: Option<Arc<str>>,
     /// The instruction that raised it.
     pub at: InstrId,
 }

@@ -1,7 +1,7 @@
 //! Runtime values.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Identifies a heap cell (object or array). Reference identity is `ObjId`
 /// equality, and memory locations are keyed on it.
@@ -62,7 +62,7 @@ pub enum Value {
     /// Boolean.
     Bool(bool),
     /// String (immutable).
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// Reference to a heap object or array.
     Ref(ObjId),
     /// A thread handle, as returned by `spawn`.
@@ -104,7 +104,7 @@ impl From<&cil::Const> for Value {
         match constant {
             cil::Const::Int(value) => Value::Int(*value),
             cil::Const::Bool(value) => Value::Bool(*value),
-            cil::Const::Str(text) => Value::Str(Rc::clone(text)),
+            cil::Const::Str(text) => Value::Str(Arc::clone(text)),
             cil::Const::Null => Value::Null,
         }
     }

@@ -58,6 +58,12 @@ pub fn fuzz_once(
     let mut schedule: Option<Vec<ThreadId>> = config.record_schedule.then(Vec::new);
     let mut decisions: u64 = 0;
     let started = config.wall_clock.map(|_| std::time::Instant::now());
+    // Reused across scheduler decisions: with trials pinned on every core,
+    // three `Vec` allocations per decision are a hot-path cost parallelism
+    // multiplies, so each buffer is allocated once per trial.
+    let mut enabled: Vec<ThreadId> = Vec::new();
+    let mut expired: Vec<ThreadId> = Vec::new();
+    let mut candidates: Vec<ThreadId> = Vec::new();
 
     let termination = loop {
         if let Some(error) = exec.engine_error() {
@@ -73,14 +79,13 @@ pub fn fuzz_once(
                 }
             }
         }
-        let enabled = exec.enabled();
+        exec.enabled_into(&mut enabled);
         if enabled.is_empty() {
-            let alive = exec.alive();
-            break if alive.is_empty() {
+            break if !exec.has_alive() {
                 Termination::AllExited
             } else {
                 // Algorithm 1 line 31: ERROR — actual deadlock found.
-                Termination::Deadlock(alive)
+                Termination::Deadlock(exec.alive())
             };
         }
         decisions += 1;
@@ -90,12 +95,14 @@ pub fn fuzz_once(
         // removing it from the set would let it be re-postponed for ever
         // (the paper's Case 1 narrative: "thread1 will be removed from
         // postponed and it will execute the remaining statements").
-        let expired: Vec<ThreadId> = postponed
-            .iter()
-            .filter(|&&(_, since)| decisions.saturating_sub(since) > config.postpone_limit)
-            .map(|&(thread, _)| thread)
-            .collect();
-        for thread in expired {
+        expired.clear();
+        expired.extend(
+            postponed
+                .iter()
+                .filter(|&&(_, since)| decisions.saturating_sub(since) > config.postpone_limit)
+                .map(|&(thread, _)| thread),
+        );
+        for &thread in &expired {
             postponed.retain(|&(held, _)| held != thread);
             if exec.is_enabled(thread) {
                 step(&mut exec, thread, &mut schedule, &mut observer);
@@ -106,14 +113,10 @@ pub fn fuzz_once(
         // extensions adding blocking statements to race sets.
         postponed.retain(|&(thread, _)| exec.is_enabled(thread));
 
-        let candidates: Vec<ThreadId> = enabled
-            .iter()
-            .copied()
-            .filter(|thread| {
-                exec.is_enabled(*thread)
-                    && postponed.iter().all(|&(held, _)| held != *thread)
-            })
-            .collect();
+        candidates.clear();
+        candidates.extend(enabled.iter().copied().filter(|thread| {
+            exec.is_enabled(*thread) && postponed.iter().all(|&(held, _)| held != *thread)
+        }));
         if candidates.is_empty() {
             if postponed.is_empty() {
                 // The livelock monitor just ran every enabled thread.
@@ -208,9 +211,9 @@ pub fn fuzz_once(
 
         // Line 26: all enabled threads postponed → release one at random
         // and run its pending statement so the schedule makes progress.
-        let enabled_now = exec.enabled();
-        if !enabled_now.is_empty()
-            && enabled_now
+        exec.enabled_into(&mut enabled);
+        if !enabled.is_empty()
+            && enabled
                 .iter()
                 .all(|thread| postponed.iter().any(|&(held, _)| held == *thread))
         {

@@ -53,6 +53,7 @@ pub mod atomicity;
 pub mod config;
 pub mod deadlock;
 pub mod outcome;
+pub mod parallel;
 pub mod runner;
 pub mod trace;
 
@@ -65,6 +66,7 @@ pub use deadlock::{
     confirm_deadlock, hunt_deadlocks, DeadlockConfirmation, DeadlockHuntReport, DeadlockOptions,
 };
 pub use outcome::{FuzzOutcome, RealRaceEvent};
+pub use parallel::{fuzz_pairs_parallel, ParallelOptions};
 pub use runner::{
     analyze, fuzz_pair, simple_random_exceptions, AnalysisReport, AnalyzeOptions, PairReport,
 };

@@ -8,6 +8,7 @@
 
 use crate::algorithm::fuzz_pair_once;
 use crate::config::FuzzConfig;
+use crate::parallel::{fuzz_pairs_parallel, ParallelOptions};
 use detector::{predict_races, PredictConfig, RacePair};
 use interp::{run_with, Limits, NullObserver, RandomScheduler, SetupError};
 use sana::{PruneReason, StaticRaceFilter};
@@ -28,6 +29,10 @@ pub struct AnalyzeOptions {
     /// Run the `sana` static pre-analysis between the phases and skip
     /// Phase-2 fuzzing of statically refuted pairs.
     pub static_prune: bool,
+    /// Phase-2 worker-pool sizing. The default (1 worker) runs the exact
+    /// sequential path; more workers fan (pair, seed-range) chunks out over
+    /// a work-stealing pool with byte-identical reports.
+    pub parallel: ParallelOptions,
 }
 
 impl Default for AnalyzeOptions {
@@ -38,6 +43,7 @@ impl Default for AnalyzeOptions {
             base_seed: 1,
             fuzz: FuzzConfig::default(),
             static_prune: false,
+            parallel: ParallelOptions::default(),
         }
     }
 }
@@ -49,6 +55,12 @@ impl AnalyzeOptions {
             trials_per_pair: trials,
             ..Self::default()
         }
+    }
+
+    /// Builder-style: run Phase 2 on a pool of `workers` threads.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.parallel.workers = workers;
+        self
     }
 }
 
@@ -133,6 +145,34 @@ impl PairReport {
     /// `true` if the pair was confirmed real (raced in some trial).
     pub fn is_real(&self) -> bool {
         self.hits > 0
+    }
+
+    /// Folds a partial report covering **later seeds** into this one.
+    ///
+    /// The parallel executor absorbs each (pair, seed-range) chunk into its
+    /// own partial report, then merges the partials in ascending seed-range
+    /// order; because every statistic is either order-insensitive (counts,
+    /// sets) or first-seed-wins (`first_hit_seed`), the merged report is
+    /// byte-identical to absorbing every trial sequentially.
+    pub fn merge(&mut self, later: &PairReport) {
+        debug_assert_eq!(
+            self.target, later.target,
+            "merging reports of different pairs"
+        );
+        self.trials += later.trials;
+        self.hits += later.hits;
+        self.real_pairs.extend(later.real_pairs.iter().copied());
+        self.exception_trials += later.exception_trials;
+        for (name, count) in &later.exceptions {
+            *self.exceptions.entry(name.clone()).or_insert(0) += count;
+        }
+        self.deadlock_trials += later.deadlock_trials;
+        if self.first_hit_seed.is_none() {
+            self.first_hit_seed = later.first_hit_seed;
+        }
+        if self.first_exception_seed.is_none() {
+            self.first_exception_seed = later.first_exception_seed;
+        }
     }
 }
 
@@ -243,24 +283,59 @@ pub fn analyze(
     } else {
         None
     };
+    // Static refutations are decided up front (the filter is deterministic
+    // and cheap); only unpruned pairs enter Phase 2, on either path.
+    let refutations: Vec<Option<PruneReason>> = potential
+        .iter()
+        .map(|target| filter.as_ref().and_then(|f| f.refute(program, target)))
+        .collect();
+    let pruned: Vec<(RacePair, PruneReason)> = potential
+        .iter()
+        .zip(&refutations)
+        .filter_map(|(&target, reason)| reason.map(|reason| (target, reason)))
+        .collect();
+
     let mut pairs = Vec::with_capacity(potential.len());
-    let mut pruned = Vec::new();
-    for &target in &potential {
-        if let Some(reason) = filter.as_ref().and_then(|f| f.refute(program, &target)) {
-            // Keep the slot so `pairs` stays parallel to `potential`, but
-            // spend no trials on a statically impossible race.
-            pairs.push(PairReport::empty(target));
-            pruned.push((target, reason));
-            continue;
-        }
-        pairs.push(fuzz_pair(
+    if options.parallel.is_parallel() {
+        let fuzzed: Vec<RacePair> = potential
+            .iter()
+            .zip(&refutations)
+            .filter(|(_, reason)| reason.is_none())
+            .map(|(&target, _)| target)
+            .collect();
+        let mut reports = fuzz_pairs_parallel(
             program,
             entry,
-            target,
+            &fuzzed,
             options.trials_per_pair,
             options.base_seed,
             &options.fuzz,
-        )?);
+            &options.parallel,
+        )?
+        .into_iter();
+        for (&target, reason) in potential.iter().zip(&refutations) {
+            // A pruned pair keeps its slot with an empty (zero-trial)
+            // report so `pairs` stays parallel to `potential`.
+            pairs.push(match reason {
+                Some(_) => PairReport::empty(target),
+                None => reports.next().expect("one report per fuzzed pair"),
+            });
+        }
+    } else {
+        for (&target, reason) in potential.iter().zip(&refutations) {
+            if reason.is_some() {
+                pairs.push(PairReport::empty(target));
+                continue;
+            }
+            pairs.push(fuzz_pair(
+                program,
+                entry,
+                target,
+                options.trials_per_pair,
+                options.base_seed,
+                &options.fuzz,
+            )?);
+        }
     }
     Ok(AnalysisReport {
         potential,

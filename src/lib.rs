@@ -58,7 +58,7 @@ pub mod prelude {
     };
     pub use racefuzzer::{
         analyze, fuzz_pair, fuzz_pair_once, hunt_deadlocks, render_trace, replay,
-        AnalysisReport, AnalyzeOptions, DeadlockOptions, FuzzConfig,
+        AnalysisReport, AnalyzeOptions, DeadlockOptions, FuzzConfig, ParallelOptions,
     };
     pub use sana::{FilterStats, PruneReason, StaticRaceFilter};
 }

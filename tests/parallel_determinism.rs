@@ -1,0 +1,65 @@
+//! Parallel Phase 2 must be invisible in the results.
+//!
+//! The work-stealing trial pool (`racefuzzer::parallel`) promises that an
+//! [`racefuzzer::AnalysisReport`] is a pure function of `(program, entry,
+//! options)` — the worker count and the steal order a particular run
+//! happens to see must not leak into any reported number. These tests pin
+//! that promise across every Table-1 workload and several worker counts,
+//! including one (7) that does not divide any trial count evenly.
+
+use racefuzzer::{analyze, AnalysisReport, AnalyzeOptions};
+
+/// Trials per pair: small enough to keep the full 14-workload sweep fast,
+/// large enough that every workload hits races, exceptions, and first-seed
+/// bookkeeping on at least some pairs.
+const TRIALS: usize = 8;
+
+fn options(workers: usize) -> AnalyzeOptions {
+    let mut options = AnalyzeOptions::with_trials(TRIALS).workers(workers);
+    // Chunk of 3 never divides 8 trials evenly: every pair gets chunks of
+    // 3 + 3 + 2, so the merge path handles ragged tails on every pair.
+    options.parallel.chunk = 3;
+    options
+}
+
+fn render(report: &AnalysisReport) -> String {
+    format!("{report:#?}")
+}
+
+#[test]
+fn worker_count_does_not_change_any_report() {
+    let mut failures = Vec::new();
+    for workload in workloads::all() {
+        let baseline = analyze(&workload.program, workload.entry, &options(1))
+            .expect("sequential analysis succeeds");
+        let expected = render(&baseline);
+        for workers in [2, 4, 7] {
+            let parallel = analyze(&workload.program, workload.entry, &options(workers))
+                .expect("parallel analysis succeeds");
+            if render(&parallel) != expected {
+                failures.push(format!("{} with {workers} workers", workload.name));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "parallel reports diverged from sequential: {failures:?}"
+    );
+}
+
+#[test]
+fn pruning_keeps_slots_aligned_under_parallelism() {
+    // The static filter empties some slots; the parallel dispatcher must
+    // put each fuzzed report back into the slot of its own pair.
+    let program = workloads::figure1();
+    let sequential =
+        analyze(&program, "main", &options(1)).expect("sequential analysis succeeds");
+    let parallel = analyze(&program, "main", &options(4)).expect("parallel analysis succeeds");
+    assert_eq!(sequential.potential, parallel.potential);
+    for (seq, par) in sequential.pairs.iter().zip(&parallel.pairs) {
+        assert_eq!(seq.target, par.target);
+        assert_eq!(seq.trials, par.trials);
+        assert_eq!(seq.hits, par.hits);
+        assert_eq!(seq.first_hit_seed, par.first_hit_seed);
+    }
+}
