@@ -1,0 +1,73 @@
+//! Micro-bench for the vector-clock primitives behind Phase 1: `tick`,
+//! `join`, and the happens-before comparison — full clock vs epoch, inline
+//! vs heap representation.
+//!
+//! The epoch engine's speedup rests on two `vclock` properties measured
+//! here: small clocks (≤ 8 threads) tick, join, and compare without
+//! touching the heap, and the `Epoch::le` fast path replaces an
+//! O(threads) pointwise `VectorClock::le` with one component lookup.
+//!
+//! Run with `cargo bench -p rf-bench --bench vclock_ops`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vclock::{Epoch, VectorClock};
+
+/// A clock with `threads` live components, each ticked a few times.
+fn clock(threads: usize) -> VectorClock {
+    let mut vc = VectorClock::new();
+    for t in 0..threads {
+        for _ in 0..=t {
+            vc.tick(t);
+        }
+    }
+    vc
+}
+
+fn bench_repr(c: &mut Criterion, label: &str, threads: usize) {
+    let mut group = c.benchmark_group(label);
+
+    group.bench_function(BenchmarkId::new("tick", threads), |b| {
+        let mut vc = clock(threads);
+        b.iter(|| vc.tick(threads - 1));
+    });
+
+    group.bench_function(BenchmarkId::new("clone", threads), |b| {
+        let vc = clock(threads);
+        b.iter(|| vc.clone());
+    });
+
+    group.bench_function(BenchmarkId::new("join", threads), |b| {
+        let mut a = clock(threads);
+        let mut other = clock(threads);
+        other.tick(0);
+        b.iter(|| a.join(&other));
+    });
+
+    group.bench_function(BenchmarkId::new("le/full-clock", threads), |b| {
+        let earlier = clock(threads);
+        let mut later = clock(threads);
+        later.tick(threads - 1);
+        b.iter(|| earlier.le(&later));
+    });
+
+    group.bench_function(BenchmarkId::new("le/epoch", threads), |b| {
+        let owner = threads - 1;
+        let earlier: Epoch = clock(threads).epoch(owner);
+        let mut later = clock(threads);
+        later.tick(owner);
+        b.iter(|| earlier.le(&later));
+    });
+
+    group.finish();
+}
+
+fn vclock_ops(c: &mut Criterion) {
+    // 4 and 8 threads stay in the inline representation; 16 spills to the
+    // heap — clone/join there show the cost the epoch engine avoids.
+    bench_repr(c, "inline", 4);
+    bench_repr(c, "inline", 8);
+    bench_repr(c, "heap", 16);
+}
+
+criterion_group!(benches, vclock_ops);
+criterion_main!(benches);

@@ -61,7 +61,7 @@ pub use artifact::{
 };
 pub use checkpoint::{Checkpoint, CheckpointHeader};
 
-use detector::{predict_races, PredictConfig, RacePair};
+use detector::{predict_races, DetectorImpl, PredictConfig, RacePair};
 use interp::SetupError;
 use racefuzzer::{fuzz_pair_once, FuzzConfig, FuzzOutcome, PairReport, ParallelOptions};
 use sana::{PruneReason, StaticRaceFilter};
@@ -310,6 +310,10 @@ pub struct CampaignReport {
     pub interrupted: bool,
     /// `true` if progress was restored from a checkpoint.
     pub resumed: bool,
+    /// Which Phase-1 engine produced the candidate pairs (from
+    /// [`CampaignOptions::predict`]); recorded so campaign artifacts are
+    /// attributable when comparing epoch vs naive runs.
+    pub detector: DetectorImpl,
 }
 
 impl CampaignReport {
@@ -513,6 +517,7 @@ impl Campaign {
                         jobs,
                         interrupted: true,
                         resumed,
+                        detector: self.options.predict.detector,
                     });
                 }
             }
@@ -522,6 +527,7 @@ impl Campaign {
             jobs,
             interrupted: false,
             resumed,
+            detector: self.options.predict.detector,
         })
     }
 

@@ -1,0 +1,49 @@
+//! Campaign-level detector plumbing: the Phase-1 engine choice flows from
+//! [`CampaignOptions::predict`] into prediction and is recorded on the
+//! report — and swapping engines never changes what the campaign does.
+
+use campaign::{Campaign, CampaignJob, CampaignOptions};
+use detector::{DetectorImpl, PredictConfig};
+
+fn jobs() -> Vec<CampaignJob> {
+    vec![
+        CampaignJob::new("figure1", workloads::figure1(), "main"),
+        CampaignJob::new("figure2", workloads::figure2(4), "main"),
+    ]
+}
+
+fn run(detector: DetectorImpl) -> campaign::CampaignReport {
+    let options = CampaignOptions {
+        trials_per_pair: 4,
+        predict: PredictConfig {
+            detector,
+            ..PredictConfig::default()
+        },
+        ..CampaignOptions::default()
+    };
+    Campaign::new(jobs(), options).run().unwrap()
+}
+
+#[test]
+fn report_records_the_detector_impl() {
+    assert_eq!(run(DetectorImpl::Epoch).detector, DetectorImpl::Epoch);
+    assert_eq!(run(DetectorImpl::Naive).detector, DetectorImpl::Naive);
+    assert_eq!(DetectorImpl::default(), DetectorImpl::Epoch);
+}
+
+#[test]
+fn campaigns_are_identical_under_either_detector() {
+    let epoch = run(DetectorImpl::Epoch);
+    let naive = run(DetectorImpl::Naive);
+    assert_eq!(epoch.jobs.len(), naive.jobs.len());
+    for (e, n) in epoch.jobs.iter().zip(&naive.jobs) {
+        assert_eq!(e.potential, n.potential, "{}: predicted pairs differ", e.name);
+        assert_eq!(e.reports.len(), n.reports.len(), "{}", e.name);
+        for (er, nr) in e.reports.iter().zip(&n.reports) {
+            assert_eq!(er.target, nr.target, "{}", e.name);
+            assert_eq!(er.trials, nr.trials, "{}", e.name);
+            assert_eq!(er.hits, nr.hits, "{}", e.name);
+            assert_eq!(er.real_pairs, nr.real_pairs, "{}", e.name);
+        }
+    }
+}

@@ -186,8 +186,11 @@ fn race_predicate(policy: Policy, old: &Stored, new: &Stored) -> bool {
     }
 }
 
-fn disjoint(a: &[ObjId], b: &[ObjId]) -> bool {
-    // Both sides are sorted (ThreadState::lockset sorts).
+/// Common-lock check as a single merge scan over the two sorted locksets
+/// (O(|a| + |b|), not the nested-loop O(|a| · |b|)). Both sides are sorted:
+/// `ThreadState::lockset` sorts before emitting the `MEM` event, and the
+/// epoch engine interns those same slices. Shared by both Phase-1 engines.
+pub(crate) fn disjoint(a: &[ObjId], b: &[ObjId]) -> bool {
     let mut ia = 0;
     let mut ib = 0;
     while ia < a.len() && ib < b.len() {
@@ -423,10 +426,37 @@ mod tests {
     }
 
     #[test]
-    fn disjoint_helper() {
+    fn disjoint_merge_scan_on_disjoint_sets() {
         assert!(disjoint(&[ObjId(1), ObjId(3)], &[ObjId(2), ObjId(4)]));
-        assert!(!disjoint(&[ObjId(1), ObjId(3)], &[ObjId(3)]));
+        assert!(disjoint(&[ObjId(1)], &[ObjId(2)]));
         assert!(disjoint(&[], &[ObjId(1)]));
+        assert!(disjoint(&[ObjId(1)], &[]));
         assert!(disjoint(&[], &[]));
+        // Interleaved without ever colliding.
+        assert!(disjoint(
+            &[ObjId(0), ObjId(2), ObjId(4), ObjId(6)],
+            &[ObjId(1), ObjId(3), ObjId(5), ObjId(7)]
+        ));
+    }
+
+    #[test]
+    fn disjoint_merge_scan_on_overlapping_sets() {
+        assert!(!disjoint(&[ObjId(1), ObjId(3)], &[ObjId(3)]));
+        assert!(!disjoint(&[ObjId(3)], &[ObjId(1), ObjId(3)]));
+        // Common element in the middle, found without a full product scan.
+        assert!(!disjoint(
+            &[ObjId(1), ObjId(5), ObjId(9)],
+            &[ObjId(2), ObjId(5), ObjId(8)]
+        ));
+    }
+
+    #[test]
+    fn disjoint_merge_scan_on_subset_locksets() {
+        // Subset in either direction is never disjoint (common lock exists).
+        let inner = [ObjId(2), ObjId(4)];
+        let outer = [ObjId(1), ObjId(2), ObjId(3), ObjId(4), ObjId(5)];
+        assert!(!disjoint(&inner, &outer));
+        assert!(!disjoint(&outer, &inner));
+        assert!(!disjoint(&inner, &inner)); // a set is a subset of itself
     }
 }

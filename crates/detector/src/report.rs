@@ -12,6 +12,13 @@ use std::fmt;
 /// An unordered pair of (possibly equal) statements predicted or observed to
 /// race. This is the paper's *racing pair of statements* `(s1, s2)` and the
 /// input to Phase 2's `RaceSet`.
+///
+/// **Canonical by construction**: the fields are private and the only
+/// constructor sorts its arguments, so `(s1, s2)` and `(s2, s1)` are the
+/// *same value* — Phase 1 can discover a pair in either order across runs,
+/// engines, or checkpoint round-trips without Phase 2 ever fuzzing it
+/// twice. `detector/tests/pair_symmetry.rs` regression-tests this end to
+/// end.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RacePair {
     first: InstrId,
@@ -29,6 +36,14 @@ impl RacePair {
                 second: a,
             }
         }
+    }
+
+    /// `true` iff `first ≤ second`. Holds for every value the type can
+    /// express (the constructor canonicalizes); exposed so tests can assert
+    /// the invariant at API boundaries (prediction output, deserialized
+    /// checkpoints) rather than trusting it silently.
+    pub fn is_canonical(&self) -> bool {
+        self.first <= self.second
     }
 
     /// The smaller statement id.

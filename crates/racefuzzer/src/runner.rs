@@ -9,7 +9,7 @@
 use crate::algorithm::fuzz_pair_once;
 use crate::config::FuzzConfig;
 use crate::parallel::{fuzz_pairs_parallel, ParallelOptions};
-use detector::{predict_races, PredictConfig, RacePair};
+use detector::{predict_races, DetectorImpl, PredictConfig, RacePair};
 use interp::{run_with, Limits, NullObserver, RandomScheduler, SetupError};
 use sana::{PruneReason, StaticRaceFilter};
 use std::collections::{BTreeMap, BTreeSet};
@@ -60,6 +60,14 @@ impl AnalyzeOptions {
     /// Builder-style: run Phase 2 on a pool of `workers` threads.
     pub fn workers(mut self, workers: usize) -> Self {
         self.parallel.workers = workers;
+        self
+    }
+
+    /// Builder-style: select the Phase-1 engine implementation
+    /// (epoch-optimized by default; [`DetectorImpl::Naive`] is the
+    /// differential-testing escape hatch).
+    pub fn detector(mut self, detector: DetectorImpl) -> Self {
+        self.predict.detector = detector;
         self
     }
 }

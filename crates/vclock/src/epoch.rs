@@ -1,0 +1,162 @@
+//! Epochs: constant-size happens-before certificates.
+//!
+//! An [`Epoch`] `(t, c)` records that thread `t`'s own clock component was
+//! `c` at some event `e` performed by `t`. The FastTrack observation
+//! (Flanagan & Freund, PLDI 2009 — applied here to the hybrid detector's
+//! clocks) is that for such an epoch, the full happens-before test against
+//! any later clock collapses to one comparison:
+//!
+//! > Let `V_e` be thread `t`'s entire vector clock at event `e`, with
+//! > `V_e[t] = c`. For every clock `C` reachable in the same execution by
+//! > ticks and joins, `V_e ⊑ C` **iff** `c ≤ C[t]`.
+//!
+//! *Why*: the only producer of `t`'s component is `t` itself, so `C[t] ≥ c`
+//! can only arise from a join chain originating at `t` at local time `≥ c`
+//! — and every join along that chain carried all of `V_e`'s other
+//! components too (joins are pointwise maxima, and `t`'s clock at local
+//! time `≥ c` dominates `V_e`). The converse direction is immediate from
+//! `V_e[t] = c`.
+//!
+//! The precondition matters: the summary is only valid for a clock *owned*
+//! by the epoch's thread at the event (exactly what a race detector stores
+//! per access). An arbitrary `(thread, time)` slice of someone else's clock
+//! carries no such guarantee.
+//!
+//! # Examples
+//!
+//! ```
+//! use vclock::{Epoch, VectorClock};
+//!
+//! let mut writer = VectorClock::new();
+//! writer.tick(0);
+//! let at_write = writer.epoch(0); // (t0, 1), taken from t0's own clock
+//!
+//! // Unsynchronized reader: concurrent.
+//! let mut reader = VectorClock::new();
+//! reader.tick(1);
+//! assert!(!at_write.le(&reader));
+//!
+//! // After a synchronization edge from the writer: ordered.
+//! reader.join(&writer);
+//! reader.tick(1);
+//! assert!(at_write.le(&reader));
+//! ```
+
+use crate::VectorClock;
+use std::fmt;
+
+/// A `(thread, time)` pair summarising one thread's own clock at one event.
+///
+/// Constant-size (16 bytes, `Copy`) where a [`VectorClock`] is
+/// per-thread-sized and heap-backed beyond eight threads — this is what an
+/// epoch-optimized detector stores per remembered access.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Epoch {
+    thread: u32,
+    time: u64,
+}
+
+impl Epoch {
+    /// Creates the epoch `(thread, time)`.
+    pub fn new(thread: usize, time: u64) -> Self {
+        Epoch {
+            thread: thread as u32,
+            time,
+        }
+    }
+
+    /// The owning thread's index.
+    #[inline]
+    pub fn thread(&self) -> usize {
+        self.thread as usize
+    }
+
+    /// The owning thread's clock component at the event.
+    #[inline]
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// O(1) happens-before: `true` iff the epoch's full clock `⊑ other`.
+    ///
+    /// Sound only under the module-level precondition: the epoch was taken
+    /// from the owning thread's **own** clock ([`VectorClock::epoch`] at an
+    /// event performed by that thread), and `other` belongs to the same
+    /// execution (built by ticks and joins only).
+    #[inline]
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.time <= other.get(self.thread as usize)
+    }
+}
+
+impl fmt::Debug for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Epoch(t{}@{})", self.thread, self.time)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@t{}", self.time, self.thread)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_round_trip() {
+        let epoch = Epoch::new(3, 41);
+        assert_eq!(epoch.thread(), 3);
+        assert_eq!(epoch.time(), 41);
+    }
+
+    #[test]
+    fn zero_epoch_precedes_everything() {
+        let epoch = Epoch::new(0, 0);
+        assert!(epoch.le(&VectorClock::new()));
+    }
+
+    #[test]
+    fn le_matches_full_clock_le_along_message_chains() {
+        // t0 ticks twice; epoch of the *first* event must agree with the
+        // full-clock comparison against every later clock in the system.
+        let mut t0 = VectorClock::new();
+        t0.tick(0);
+        let first_clock = t0.clone();
+        let first_epoch = t0.epoch(0);
+        t0.tick(0);
+
+        let mut t1 = VectorClock::new();
+        t1.tick(1);
+        assert_eq!(first_epoch.le(&t1), first_clock.le(&t1));
+        assert!(!first_epoch.le(&t1));
+
+        // t1 hears from t0 (post-second-tick): both agree it is ordered.
+        t1.join(&t0);
+        t1.tick(1);
+        assert_eq!(first_epoch.le(&t1), first_clock.le(&t1));
+        assert!(first_epoch.le(&t1));
+
+        // A third thread hears only from t1: transitivity preserved.
+        let mut t2 = VectorClock::new();
+        t2.join(&t1);
+        t2.tick(2);
+        assert_eq!(first_epoch.le(&t2), first_clock.le(&t2));
+        assert!(first_epoch.le(&t2));
+    }
+
+    #[test]
+    fn ordering_is_derived_lexicographically() {
+        assert!(Epoch::new(0, 5) < Epoch::new(1, 1));
+        assert!(Epoch::new(2, 1) < Epoch::new(2, 9));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let epoch = Epoch::new(1, 7);
+        assert_eq!(format!("{epoch}"), "7@t1");
+        assert_eq!(format!("{epoch:?}"), "Epoch(t1@7)");
+    }
+}

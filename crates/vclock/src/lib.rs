@@ -1,4 +1,4 @@
-//! Vector clocks and the happens-before partial order.
+//! Vector clocks, epochs, and the happens-before partial order.
 //!
 //! A [`VectorClock`] summarises, per thread, how many logical steps of that
 //! thread are "known" at a point in an execution. The hybrid race detector of
@@ -7,6 +7,16 @@
 //! (thread start, join, and notify→wait). Two events are *concurrent* — a
 //! precondition of the paper's race predicate — exactly when neither of their
 //! clocks [`VectorClock::le`]s the other.
+//!
+//! Two representation choices keep the hot paths allocation-free:
+//!
+//! * Clocks with at most [`VectorClock::INLINE_THREADS`] components are
+//!   stored inline — no heap allocation for `new`, `tick`, `join`, or
+//!   `clone` on the small thread counts that dominate real workloads.
+//! * An [`Epoch`] is the constant-size `(thread, time)` summary of a
+//!   thread's own clock at one event; [`Epoch::le`] decides
+//!   happens-before against a full clock with a single component
+//!   comparison (the FastTrack insight — see the `epoch` module docs).
 //!
 //! # Examples
 //!
@@ -26,8 +36,37 @@
 //! assert!(!b.le(&a));
 //! ```
 
+mod epoch;
+
+pub use epoch::Epoch;
+
 use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Storage for the clock components: inline for small thread counts,
+/// spilled to the heap beyond [`VectorClock::INLINE_THREADS`].
+///
+/// Invariant (shared with `VectorClock::normalize`): the last stored
+/// component is non-zero, so logically-equal clocks have equal slices no
+/// matter which representation holds them.
+#[derive(Clone)]
+enum Entries {
+    Inline {
+        len: u8,
+        buf: [u64; VectorClock::INLINE_THREADS],
+    },
+    Heap(Vec<u64>),
+}
+
+impl Default for Entries {
+    fn default() -> Self {
+        Entries::Inline {
+            len: 0,
+            buf: [0; VectorClock::INLINE_THREADS],
+        }
+    }
+}
 
 /// A vector clock: a map from thread index to logical timestamp.
 ///
@@ -44,12 +83,15 @@ use std::fmt;
 /// assert_eq!(c.get(3), 1);
 /// assert_eq!(c.get(7), 0); // implicit zero
 /// ```
-#[derive(Clone, Default, PartialEq, Eq, Hash)]
+#[derive(Clone, Default)]
 pub struct VectorClock {
-    entries: Vec<u64>,
+    entries: Entries,
 }
 
 impl VectorClock {
+    /// Clocks over at most this many threads never touch the heap.
+    pub const INLINE_THREADS: usize = 8;
+
     /// Creates an empty clock (all components zero).
     pub fn new() -> Self {
         Self::default()
@@ -69,48 +111,108 @@ impl VectorClock {
     /// assert_eq!(a, b);
     /// ```
     pub fn from_components<I: IntoIterator<Item = u64>>(components: I) -> Self {
-        let mut clock = Self {
-            entries: components.into_iter().collect(),
-        };
-        clock.normalize();
+        let mut clock = Self::new();
+        for (thread, value) in components.into_iter().enumerate() {
+            if value != 0 {
+                clock.grow_to(thread + 1);
+                clock.components_mut()[thread] = value;
+            }
+        }
         clock
     }
 
+    /// The stored components (normalized: no trailing zeros).
+    fn components(&self) -> &[u64] {
+        match &self.entries {
+            Entries::Inline { len, buf } => &buf[..*len as usize],
+            Entries::Heap(values) => values,
+        }
+    }
+
+    fn components_mut(&mut self) -> &mut [u64] {
+        match &mut self.entries {
+            Entries::Inline { len, buf } => &mut buf[..*len as usize],
+            Entries::Heap(values) => values,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match &self.entries {
+            Entries::Inline { len, .. } => *len as usize,
+            Entries::Heap(values) => values.len(),
+        }
+    }
+
+    /// Extends the stored components with zeros up to `len`, spilling to
+    /// the heap only when `len` exceeds the inline capacity.
+    fn grow_to(&mut self, len: usize) {
+        match &mut self.entries {
+            Entries::Inline { len: cur, buf } => {
+                if len <= Self::INLINE_THREADS {
+                    if len > *cur as usize {
+                        *cur = len as u8;
+                    }
+                } else {
+                    let mut values = buf[..*cur as usize].to_vec();
+                    values.resize(len, 0);
+                    self.entries = Entries::Heap(values);
+                }
+            }
+            Entries::Heap(values) => {
+                if len > values.len() {
+                    values.resize(len, 0);
+                }
+            }
+        }
+    }
+
     /// Returns the component for `thread` (zero if never ticked).
+    #[inline]
     pub fn get(&self, thread: usize) -> u64 {
-        self.entries.get(thread).copied().unwrap_or(0)
+        self.components().get(thread).copied().unwrap_or(0)
     }
 
     /// Sets the component for `thread`.
     pub fn set(&mut self, thread: usize, value: u64) {
-        if thread >= self.entries.len() {
+        if thread >= self.len() {
             if value == 0 {
                 return;
             }
-            self.entries.resize(thread + 1, 0);
+            self.grow_to(thread + 1);
         }
-        self.entries[thread] = value;
+        self.components_mut()[thread] = value;
         self.normalize();
     }
 
     /// Advances `thread`'s component by one and returns the new value.
+    #[inline]
     pub fn tick(&mut self, thread: usize) -> u64 {
-        if thread >= self.entries.len() {
-            self.entries.resize(thread + 1, 0);
+        if thread >= self.len() {
+            self.grow_to(thread + 1);
         }
-        self.entries[thread] += 1;
-        self.entries[thread]
+        let slot = &mut self.components_mut()[thread];
+        *slot += 1;
+        *slot
+    }
+
+    /// The constant-size `(thread, time)` summary of this clock's own
+    /// component — see [`Epoch`] for when the summary can stand in for the
+    /// whole clock.
+    #[inline]
+    pub fn epoch(&self, thread: usize) -> Epoch {
+        Epoch::new(thread, self.get(thread))
     }
 
     /// Pointwise maximum with `other` (the classic vector-clock join).
     ///
     /// Used on every `RCV` event: the receiving thread learns everything the
-    /// sender knew.
+    /// sender knew. Allocation-free unless the join forces this clock past
+    /// [`VectorClock::INLINE_THREADS`] components for the first time.
     pub fn join(&mut self, other: &VectorClock) {
-        if other.entries.len() > self.entries.len() {
-            self.entries.resize(other.entries.len(), 0);
+        if other.len() > self.len() {
+            self.grow_to(other.len());
         }
-        for (mine, theirs) in self.entries.iter_mut().zip(other.entries.iter()) {
+        for (mine, theirs) in self.components_mut().iter_mut().zip(other.components()) {
             *mine = (*mine).max(*theirs);
         }
     }
@@ -124,11 +226,18 @@ impl VectorClock {
 
     /// Returns `true` if `self ≤ other` pointwise, i.e. the event stamped
     /// `self` happens-before (or equals) the event stamped `other`.
+    ///
+    /// Allocation-free; normalization (no trailing zeros) gives an O(1)
+    /// negative fast path whenever `self` knows a thread `other` does not.
+    #[inline]
     pub fn le(&self, other: &VectorClock) -> bool {
-        self.entries
-            .iter()
-            .enumerate()
-            .all(|(thread, &value)| value <= other.get(thread))
+        let mine = self.components();
+        let theirs = other.components();
+        if mine.len() > theirs.len() {
+            // Normalized: our last component is non-zero but other's is 0.
+            return false;
+        }
+        mine.iter().zip(theirs).all(|(a, b)| a <= b)
     }
 
     /// Returns `true` if `self < other`: `self ≤ other` and they differ.
@@ -146,17 +255,17 @@ impl VectorClock {
 
     /// Number of threads with a non-zero component.
     pub fn active_threads(&self) -> usize {
-        self.entries.iter().filter(|&&value| value > 0).count()
+        self.components().iter().filter(|&&value| value > 0).count()
     }
 
     /// Returns `true` if every component is zero.
     pub fn is_zero(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Iterates over `(thread, timestamp)` pairs with non-zero timestamps.
     pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
-        self.entries
+        self.components()
             .iter()
             .copied()
             .enumerate()
@@ -164,9 +273,34 @@ impl VectorClock {
     }
 
     fn normalize(&mut self) {
-        while self.entries.last() == Some(&0) {
-            self.entries.pop();
+        match &mut self.entries {
+            Entries::Inline { len, buf } => {
+                while *len > 0 && buf[*len as usize - 1] == 0 {
+                    *len -= 1;
+                }
+            }
+            Entries::Heap(values) => {
+                while values.last() == Some(&0) {
+                    values.pop();
+                }
+            }
         }
+    }
+}
+
+impl PartialEq for VectorClock {
+    fn eq(&self, other: &Self) -> bool {
+        // Representation-independent: both are normalized, so logical
+        // equality is slice equality whether inline or heap-backed.
+        self.components() == other.components()
+    }
+}
+
+impl Eq for VectorClock {}
+
+impl Hash for VectorClock {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.components().hash(state);
     }
 }
 
@@ -184,7 +318,7 @@ impl PartialOrd for VectorClock {
 
 impl fmt::Debug for VectorClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "VectorClock{:?}", self.entries)
+        write!(f, "VectorClock{:?}", self.components())
     }
 }
 
@@ -327,5 +461,70 @@ mod tests {
     fn from_iterator_collects() {
         let clock: VectorClock = [1u64, 2, 3].into_iter().collect();
         assert_eq!(clock, vc(&[1, 2, 3]));
+    }
+
+    // -- inline/heap representation boundary --
+
+    #[test]
+    fn small_clocks_stay_inline() {
+        let mut clock = VectorClock::new();
+        for thread in 0..VectorClock::INLINE_THREADS {
+            clock.tick(thread);
+        }
+        assert!(matches!(clock.entries, Entries::Inline { .. }));
+        clock.tick(VectorClock::INLINE_THREADS);
+        assert!(matches!(clock.entries, Entries::Heap(_)));
+        assert_eq!(clock.get(VectorClock::INLINE_THREADS), 1);
+        assert_eq!(clock.get(0), 1);
+    }
+
+    #[test]
+    fn inline_and_heap_clocks_compare_and_hash_equal() {
+        use std::collections::hash_map::DefaultHasher;
+
+        // Build the same logical clock in both representations: the heap
+        // one via a transient 10th component later zeroed out.
+        let inline = vc(&[1, 2, 3]);
+        let mut heap = vc(&[1, 2, 3]);
+        heap.set(9, 5);
+        heap.set(9, 0);
+        assert!(matches!(heap.entries, Entries::Heap(_)));
+        assert_eq!(inline, heap);
+        assert!(inline.le(&heap) && heap.le(&inline));
+
+        let hash = |clock: &VectorClock| {
+            let mut hasher = DefaultHasher::new();
+            clock.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(hash(&inline), hash(&heap));
+    }
+
+    #[test]
+    fn join_across_representations() {
+        let mut wide = vc(&[0, 0, 0, 0, 0, 0, 0, 0, 0, 7]);
+        assert!(matches!(wide.entries, Entries::Heap(_)));
+        let mut narrow = vc(&[5]);
+        narrow.join(&wide);
+        assert_eq!(narrow.get(0), 5);
+        assert_eq!(narrow.get(9), 7);
+        wide.join(&vc(&[9]));
+        assert_eq!(wide.get(0), 9);
+    }
+
+    #[test]
+    fn normalized_length_fast_path_is_sound() {
+        // a knows t5, b does not: a ⋠ b decided by length alone.
+        let a = vc(&[1, 0, 0, 0, 0, 1]);
+        let b = vc(&[1]);
+        assert!(!a.le(&b));
+        assert!(b.le(&a));
+    }
+
+    #[test]
+    fn epoch_accessor_matches_component() {
+        let clock = vc(&[3, 9]);
+        assert_eq!(clock.epoch(1), Epoch::new(1, 9));
+        assert_eq!(clock.epoch(4), Epoch::new(4, 0));
     }
 }

@@ -51,7 +51,9 @@ pub mod prelude {
         Campaign, CampaignJob, CampaignOptions, CampaignReport, FailureArtifact, FailureKind,
     };
     pub use cil;
-    pub use detector::{predict_races, Policy, PredictConfig, RacePair};
+    pub use detector::{
+        predict_races, DetectorEngine, DetectorImpl, EpochEngine, Policy, PredictConfig, RacePair,
+    };
     pub use interp::{
         run_with, Limits, NullObserver, RandomScheduler, RoundRobinScheduler,
         RunToBlockScheduler, Termination,
