@@ -188,6 +188,7 @@ fn main() -> ExitCode {
 
     let document = Json::obj(vec![
         ("benchmark", Json::str("parallel_scaling")),
+        ("failpoints_compiled", Json::Bool(faults::compiled())),
         ("trials", Json::u64(trials)),
         ("cores", Json::usize(cores)),
         (
@@ -198,6 +199,13 @@ fn main() -> ExitCode {
     std::fs::write(&args.out, document.to_text()).expect("write benchmark json");
     println!("wrote {}", args.out);
 
+    if args.check && faults::compiled() {
+        eprintln!(
+            "FAIL: fault-injection sites are compiled into this build; \
+             the perf gate must measure the zero-cost configuration"
+        );
+        return ExitCode::FAILURE;
+    }
     if args.check {
         let four_worker = measurements
             .iter()

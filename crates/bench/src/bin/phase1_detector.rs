@@ -285,6 +285,7 @@ fn main() -> ExitCode {
     let document = Json::obj(vec![
         ("benchmark", Json::str("phase1_detector")),
         ("policy", Json::str("hybrid")),
+        ("failpoints_compiled", Json::Bool(faults::compiled())),
         ("target_events", Json::u64(args.target_events)),
         (
             "workloads",
@@ -305,6 +306,13 @@ fn main() -> ExitCode {
     std::fs::write(&args.out, document.to_text()).expect("write benchmark json");
     println!("wrote {}", args.out);
 
+    if args.check && faults::compiled() {
+        eprintln!(
+            "FAIL: fault-injection sites are compiled into this build; \
+             the perf gate must measure the zero-cost configuration"
+        );
+        return ExitCode::FAILURE;
+    }
     if args.check && min_gated < REQUIRED_SPEEDUP {
         eprintln!(
             "FAIL: a padded-loop workload fell below {REQUIRED_SPEEDUP:.1}x \

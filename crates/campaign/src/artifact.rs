@@ -8,6 +8,7 @@
 //! (paper §2.2: the execution is a pure function of program, race set, and
 //! seed), so the artifact is a few hundred bytes of JSON.
 
+use crate::durable;
 use crate::json::{self, Json};
 use detector::RacePair;
 use racefuzzer::FuzzConfig;
@@ -17,7 +18,48 @@ use std::time::Duration;
 /// Artifact/checkpoint format version, bumped on incompatible change.
 /// Version 2: structured quarantine reasons (`reason` tag + `detail`) and
 /// the per-job `soundness_bugs` list.
-pub const FORMAT_VERSION: u64 = 2;
+/// Version 3: CRC-32 footer on every durable document (torn-write
+/// detection), the `max_heap_cells` replay knob, per-report
+/// `memory_trials`, and the `worker_loss` failure kind.
+pub const FORMAT_VERSION: u64 = 3;
+
+/// Oldest format version this build still reads. Version 2 documents have
+/// no CRC footer and no memory-budget fields; they load with those fields
+/// defaulted, so a committed v2 checkpoint resumes under this build.
+pub const MIN_READ_VERSION: u64 = 2;
+
+pub(crate) fn check_version(version: u64) -> Result<(), ArtifactError> {
+    if (MIN_READ_VERSION..=FORMAT_VERSION).contains(&version) {
+        Ok(())
+    } else {
+        Err(ArtifactError::VersionMismatch {
+            found: version,
+            expected: FORMAT_VERSION,
+        })
+    }
+}
+
+/// Unseals a durable document and enforces the framing rule: format v3+
+/// documents *must* carry a valid CRC footer — a v3 body without one is a
+/// torn write that happened to truncate at a JSON boundary, not a legacy
+/// file.
+///
+/// Returns the parsed JSON and its claimed `format_version`.
+pub(crate) fn unseal_document(text: &str) -> Result<(Json, u64), ArtifactError> {
+    let unsealed = durable::unseal(text).map_err(ArtifactError::Malformed)?;
+    let value = json::parse(unsealed.body())
+        .map_err(|error| ArtifactError::Malformed(error.to_string()))?;
+    let version = value
+        .get("format_version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ArtifactError::Malformed("missing format_version".into()))?;
+    if version >= 3 && matches!(unsealed, durable::Unsealed::Legacy(_)) {
+        return Err(ArtifactError::Malformed(format!(
+            "format v{version} document has no CRC footer (torn write?)"
+        )));
+    }
+    Ok((value, version))
+}
 
 /// FNV-1a 64-bit digest of a compiled program's code.
 ///
@@ -59,6 +101,12 @@ pub enum FailureKind {
     /// The interpreter detected an internal invariant violation; the
     /// payload is the rendered [`interp::ExecError`].
     EngineError(String),
+    /// The worker thread running the trial died without delivering a
+    /// result (parallel campaigns only); the payload describes what the
+    /// commit thread observed. The pair itself may be innocent — the
+    /// failure is attributed so the campaign can keep committing instead
+    /// of hanging on a result that will never arrive.
+    WorkerLoss(String),
 }
 
 impl FailureKind {
@@ -69,15 +117,16 @@ impl FailureKind {
             FailureKind::StepBudget => "step_budget",
             FailureKind::Deadline => "deadline",
             FailureKind::EngineError(_) => "engine_error",
+            FailureKind::WorkerLoss(_) => "worker_loss",
         }
     }
 
     /// Message payload, if the kind carries one.
     pub fn message(&self) -> Option<&str> {
         match self {
-            FailureKind::Panic(message) | FailureKind::EngineError(message) => {
-                Some(message.as_str())
-            }
+            FailureKind::Panic(message)
+            | FailureKind::EngineError(message)
+            | FailureKind::WorkerLoss(message) => Some(message.as_str()),
             _ => None,
         }
     }
@@ -87,12 +136,15 @@ impl FailureKind {
         matches!(self, FailureKind::StepBudget | FailureKind::Deadline)
     }
 
-    fn from_parts(tag: &str, message: Option<&str>) -> Option<FailureKind> {
+    pub(crate) fn from_parts(tag: &str, message: Option<&str>) -> Option<FailureKind> {
         match tag {
             "panic" => Some(FailureKind::Panic(message.unwrap_or("").to_owned())),
             "step_budget" => Some(FailureKind::StepBudget),
             "deadline" => Some(FailureKind::Deadline),
             "engine_error" => Some(FailureKind::EngineError(
+                message.unwrap_or("").to_owned(),
+            )),
+            "worker_loss" => Some(FailureKind::WorkerLoss(
                 message.unwrap_or("").to_owned(),
             )),
             _ => None,
@@ -154,6 +206,9 @@ pub struct FailureArtifact {
     pub switch_only_at_sync: bool,
     /// Original wall-clock budget in milliseconds, if any.
     pub wall_clock_ms: Option<u64>,
+    /// [`FuzzConfig::max_heap_cells`] of the failing trial (absent in
+    /// format v2 artifacts, which predate the heap budget).
+    pub max_heap_cells: Option<u64>,
 }
 
 impl FailureArtifact {
@@ -168,6 +223,7 @@ impl FailureArtifact {
             record_schedule: false,
             location_precise: self.location_precise,
             switch_only_at_sync: self.switch_only_at_sync,
+            max_heap_cells: self.max_heap_cells,
         }
     }
 
@@ -206,6 +262,13 @@ impl FailureArtifact {
                     None => Json::Null,
                 },
             ),
+            (
+                "max_heap_cells",
+                match self.max_heap_cells {
+                    Some(cells) => Json::u64(cells),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -219,12 +282,7 @@ impl FailureArtifact {
         let version = field("format_version")?
             .as_u64()
             .ok_or_else(|| ArtifactError::Malformed("bad format_version".into()))?;
-        if version != FORMAT_VERSION {
-            return Err(ArtifactError::VersionMismatch {
-                found: version,
-                expected: FORMAT_VERSION,
-            });
-        }
+        check_version(version)?;
         let digest_text = field("program_digest")?
             .as_str()
             .ok_or_else(|| ArtifactError::Malformed("bad program_digest".into()))?;
@@ -276,29 +334,34 @@ impl FailureArtifact {
             location_precise: req_bool("location_precise")?,
             switch_only_at_sync: req_bool("switch_only_at_sync")?,
             wall_clock_ms: value.get("wall_clock_ms").and_then(Json::as_u64),
+            max_heap_cells: value.get("max_heap_cells").and_then(Json::as_u64),
         })
     }
 
-    /// Writes the artifact as JSON text to `path`.
+    /// Durably writes the artifact to `path`: CRC-footed, staged through a
+    /// temp file, fsynced, atomically renamed (failpoint sites
+    /// `campaign.artifact.{write,sync,rename}`).
     ///
     /// # Errors
     ///
     /// Returns [`ArtifactError::Io`] on filesystem failure.
     pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
-        std::fs::write(path, self.to_json().to_text())
+        let sealed = durable::seal(&self.to_json().to_text());
+        durable::write_durable(path, "campaign.artifact", sealed.as_bytes())
             .map_err(|error| ArtifactError::Io(error.to_string()))
     }
 
-    /// Reads an artifact back from `path`.
+    /// Reads an artifact back from `path`, verifying the CRC footer (a v2
+    /// artifact without one still loads).
     ///
     /// # Errors
     ///
-    /// Returns [`ArtifactError`] if the file is unreadable, unparsable, or
-    /// from a different format version.
+    /// Returns [`ArtifactError`] if the file is unreadable, torn,
+    /// unparsable, or from an unreadable format version.
     pub fn load(path: &Path) -> Result<FailureArtifact, ArtifactError> {
         let text =
             std::fs::read_to_string(path).map_err(|error| ArtifactError::Io(error.to_string()))?;
-        let value = json::parse(&text).map_err(|error| ArtifactError::Malformed(error.to_string()))?;
+        let (value, _) = unseal_document(&text)?;
         FailureArtifact::from_json(&value)
     }
 
@@ -381,6 +444,7 @@ mod tests {
             location_precise: true,
             switch_only_at_sync: false,
             wall_clock_ms: Some(250),
+            max_heap_cells: Some(1 << 20),
         }
     }
 
@@ -416,6 +480,42 @@ mod tests {
             FailureArtifact::from_json(&value),
             Err(ArtifactError::VersionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn v2_artifact_without_footer_still_loads() {
+        // A pre-CRC artifact: format_version 2, no max_heap_cells, bare
+        // JSON with no footer.
+        let mut value = sample().to_json();
+        if let Json::Obj(fields) = &mut value {
+            fields[0].1 = Json::u64(2);
+            fields.retain(|(key, _)| key != "max_heap_cells");
+        }
+        let dir = std::env::temp_dir().join(format!("artifact-v2-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.json");
+        std::fs::write(&path, value.to_text()).unwrap();
+        let loaded = FailureArtifact::load(&path).unwrap();
+        assert_eq!(loaded.max_heap_cells, None);
+        assert_eq!(loaded.seed, sample().seed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flipped_byte_is_detected_at_load() {
+        let dir = std::env::temp_dir().join(format!("artifact-crc-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.json");
+        sample().save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            FailureArtifact::load(&path),
+            Err(ArtifactError::Malformed(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

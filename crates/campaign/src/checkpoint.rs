@@ -4,15 +4,24 @@
 //! predicted, which pairs are fuzzed, every completed [`PairReport`],
 //! quarantine decisions, and trial failures — so a killed campaign resumed
 //! from disk finishes with reports identical to an uninterrupted run. The
-//! write is atomic (temp file + rename) so a crash mid-checkpoint leaves
-//! the previous checkpoint intact, never a torn file.
+//! write goes through [`crate::durable`]: temp file, fsync, atomic rename,
+//! and a CRC-32 footer, so a crash mid-checkpoint leaves the previous
+//! checkpoint intact and a torn file is *detected* on load rather than
+//! trusted (the recovery scan sidelines it and the campaign redoes the
+//! lost pairs deterministically).
 //!
 //! Granularity is one pair: a kill mid-pair loses only that pair's trials,
 //! and re-running them is deterministic (seeds are `base_seed + trial`), so
 //! nothing observable changes.
+//!
+//! This build writes format version 3 and still reads version 2 (no CRC
+//! footer, no `memory_trials`).
 
-use crate::artifact::{ArtifactError, FailureKind, TrialFailure, FORMAT_VERSION};
-use crate::json::{self, Json};
+use crate::artifact::{
+    check_version, unseal_document, ArtifactError, FailureKind, TrialFailure, FORMAT_VERSION,
+};
+use crate::durable;
+use crate::json::Json;
 use crate::{JobOutcome, QuarantineReason, QuarantinedPair};
 use sana::PruneReason;
 use cil::flat::InstrId;
@@ -65,12 +74,7 @@ impl Checkpoint {
             .get("format_version")
             .and_then(Json::as_u64)
             .ok_or_else(|| ArtifactError::Malformed("missing format_version".into()))?;
-        if version != FORMAT_VERSION {
-            return Err(ArtifactError::VersionMismatch {
-                found: version,
-                expected: FORMAT_VERSION,
-            });
-        }
+        check_version(version)?;
         let header = CheckpointHeader {
             trials_per_pair: value
                 .get("trials_per_pair")
@@ -91,28 +95,30 @@ impl Checkpoint {
         Ok(Checkpoint { header, jobs })
     }
 
-    /// Atomically writes the checkpoint to `path` (temp file + rename).
+    /// Durably writes the checkpoint to `path`: CRC-footed, staged through
+    /// a temp file, fsynced, atomically renamed (failpoint sites
+    /// `campaign.checkpoint.{write,sync,rename}`).
     ///
     /// # Errors
     ///
     /// Returns [`ArtifactError::Io`] on filesystem failure.
     pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_json().to_text())
-            .map_err(|error| ArtifactError::Io(error.to_string()))?;
-        std::fs::rename(&tmp, path).map_err(|error| ArtifactError::Io(error.to_string()))
+        let sealed = durable::seal(&self.to_json().to_text());
+        durable::write_durable(path, "campaign.checkpoint", sealed.as_bytes())
+            .map_err(|error| ArtifactError::Io(error.to_string()))
     }
 
-    /// Loads a checkpoint from `path`.
+    /// Loads a checkpoint from `path`, verifying the CRC footer (a v2
+    /// checkpoint without one still loads).
     ///
     /// # Errors
     ///
-    /// Returns [`ArtifactError`] if the file is unreadable or invalid.
+    /// Returns [`ArtifactError`] if the file is unreadable, torn, or
+    /// invalid.
     pub fn load(path: &Path) -> Result<Checkpoint, ArtifactError> {
         let text =
             std::fs::read_to_string(path).map_err(|error| ArtifactError::Io(error.to_string()))?;
-        let value =
-            json::parse(&text).map_err(|error| ArtifactError::Malformed(error.to_string()))?;
+        let (value, _) = unseal_document(&text)?;
         Checkpoint::from_json(&value)
     }
 }
@@ -166,6 +172,7 @@ fn report_to_json(report: &PairReport) -> Json {
             ),
         ),
         ("deadlock_trials", Json::usize(report.deadlock_trials)),
+        ("memory_trials", Json::usize(report.memory_trials)),
         ("first_hit_seed", opt_u64(report.first_hit_seed)),
         (
             "first_exception_seed",
@@ -210,6 +217,11 @@ fn report_from_json(value: &Json) -> Result<PairReport, ArtifactError> {
     report.exception_trials = usize_field("exception_trials")?;
     report.exceptions = exceptions;
     report.deadlock_trials = usize_field("deadlock_trials")?;
+    // Absent in format v2 checkpoints, which predate the heap budget.
+    report.memory_trials = value
+        .get("memory_trials")
+        .and_then(Json::as_usize)
+        .unwrap_or(0);
     report.first_hit_seed = value.get("first_hit_seed").and_then(Json::as_u64);
     report.first_exception_seed = value.get("first_exception_seed").and_then(Json::as_u64);
     Ok(report)
@@ -265,15 +277,8 @@ fn failure_kind_from_parts(
     tag: &str,
     message: Option<&str>,
 ) -> Result<FailureKind, ArtifactError> {
-    match tag {
-        "panic" => Ok(FailureKind::Panic(message.unwrap_or("").to_owned())),
-        "step_budget" => Ok(FailureKind::StepBudget),
-        "deadline" => Ok(FailureKind::Deadline),
-        "engine_error" => Ok(FailureKind::EngineError(message.unwrap_or("").to_owned())),
-        _ => Err(ArtifactError::Malformed(format!(
-            "unknown failure kind '{tag}'"
-        ))),
-    }
+    FailureKind::from_parts(tag, message)
+        .ok_or_else(|| ArtifactError::Malformed(format!("unknown failure kind '{tag}'")))
 }
 
 fn quarantine_to_json(entry: &QuarantinedPair) -> Json {
@@ -295,6 +300,11 @@ fn quarantine_reason_from_parts(
         "statically_pruned" => PruneReason::from_tag(detail)
             .map(QuarantineReason::StaticallyPruned)
             .ok_or_else(|| ArtifactError::Malformed(format!("unknown prune reason '{detail}'"))),
+        "crash_loop" => detail
+            .parse::<u32>()
+            .map(QuarantineReason::CrashLoop)
+            .map_err(|_| ArtifactError::Malformed(format!("bad crash_loop count '{detail}'"))),
+        "corrupt_artifact" => Ok(QuarantineReason::CorruptArtifact(detail.to_owned())),
         _ => Err(ArtifactError::Malformed(format!(
             "unknown quarantine reason '{tag}'"
         ))),
@@ -325,7 +335,7 @@ fn quarantine_from_json(value: &Json) -> Result<QuarantinedPair, ArtifactError> 
     })
 }
 
-fn job_to_json(job: &JobOutcome) -> Json {
+pub(crate) fn job_to_json(job: &JobOutcome) -> Json {
     Json::obj(vec![
         ("name", Json::str(&job.name)),
         ("entry", Json::str(&job.entry)),
@@ -436,6 +446,7 @@ fn job_from_json(value: &Json) -> Result<JobOutcome, ArtifactError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::json;
 
     fn sample_job() -> JobOutcome {
         let pair = RacePair::new(InstrId(2), InstrId(9));
@@ -515,9 +526,60 @@ mod tests {
             jobs: vec![sample_job()],
         };
         checkpoint.save(&path).unwrap();
-        assert!(!path.with_extension("tmp").exists());
+        assert!(!durable::tmp_path(&path).exists());
         let loaded = Checkpoint::load(&path).unwrap();
         assert_eq!(loaded.header, checkpoint.header);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_rejected_not_trusted() {
+        let dir = std::env::temp_dir().join(format!("campaign-torn-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        let checkpoint = Checkpoint {
+            header: CheckpointHeader {
+                trials_per_pair: 5,
+                base_seed: 9,
+            },
+            jobs: vec![sample_job()],
+        };
+        checkpoint.save(&path).unwrap();
+        // Simulate a torn write: drop the second half of the file.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(Checkpoint::load(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v2_checkpoint_without_footer_still_loads() {
+        let dir = std::env::temp_dir().join(format!("campaign-v2-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        let checkpoint = Checkpoint {
+            header: CheckpointHeader {
+                trials_per_pair: 5,
+                base_seed: 9,
+            },
+            jobs: vec![sample_job()],
+        };
+        // Rewrite the document the way a v2 build would have: version 2,
+        // no memory_trials line, bare JSON with no CRC footer. (The
+        // memory_trials line carries a trailing comma, so dropping the
+        // whole line keeps the JSON valid.)
+        let text: String = checkpoint
+            .to_json()
+            .to_text()
+            .replace("\"format_version\": 3,", "\"format_version\": 2,")
+            .lines()
+            .filter(|line| !line.trim_start().starts_with("\"memory_trials\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        std::fs::write(&path, text).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.header, checkpoint.header);
+        assert_eq!(loaded.jobs[0].reports[0].memory_trials, 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

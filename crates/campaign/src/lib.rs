@@ -24,6 +24,13 @@
 //!   quarantine decisions, the pair cursor) is written atomically to disk
 //!   after every pair; a killed campaign resumes from the checkpoint and
 //!   finishes with reports identical to an uninterrupted run.
+//! * **Crash safety** — every durable write goes through [`durable`]
+//!   (temp file, fsync, atomic rename, CRC-32 footer) and is instrumented
+//!   with deterministic failpoints (the `faults` crate, compiled out of
+//!   release builds); startup runs a [`recovery`] scan that sidelines torn
+//!   files instead of trusting them; and the [`supervisor`] loop restarts
+//!   a campaign whose *process* keeps dying, quarantining pairs that
+//!   crash-loop via the durable [`supervisor::CrashLedger`].
 //!
 //! # Examples
 //!
@@ -54,13 +61,19 @@
 
 pub mod artifact;
 pub mod checkpoint;
+pub mod durable;
 pub mod json;
+pub mod recovery;
+pub mod supervisor;
 
 pub use artifact::{
     program_digest, ArtifactError, FailureArtifact, FailureKind, TrialFailure,
 };
 pub use checkpoint::{Checkpoint, CheckpointHeader};
+pub use recovery::{RecoveryAction, RecoveryEvent};
+pub use supervisor::{supervise, ChildExit, CrashLedger, SupervisorOptions, SupervisorOutcome};
 
+use crate::json::Json;
 use detector::{predict_races, DetectorImpl, PredictConfig, RacePair};
 use interp::SetupError;
 use racefuzzer::{fuzz_pair_once, FuzzConfig, FuzzOutcome, PairReport, ParallelOptions};
@@ -68,9 +81,10 @@ use sana::{PruneReason, StaticRaceFilter};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Duration;
 
 /// One unit of campaign work: a compiled program plus its entry procedure.
 #[derive(Clone, Debug)]
@@ -147,6 +161,16 @@ pub struct CampaignOptions {
     /// through a reorder buffer, so reports, artifact files, and every
     /// intermediate checkpoint are identical to a sequential run.
     pub parallel: ParallelOptions,
+    /// Crash ledger written by the [`supervisor`]; pairs listed there are
+    /// quarantined with [`QuarantineReason::CrashLoop`] before any trial
+    /// runs. `None` disables the check.
+    pub crash_ledger_path: Option<PathBuf>,
+    /// How long the parallel commit thread waits for an in-flight pair
+    /// before checking whether the worker that claimed it has died. This is
+    /// a *liveness probe interval*, not a per-pair deadline: as long as the
+    /// claiming worker is alive the commit thread keeps waiting, so slow
+    /// trials are never misreported as worker loss.
+    pub worker_stall: Duration,
 }
 
 impl Default for CampaignOptions {
@@ -164,6 +188,8 @@ impl Default for CampaignOptions {
             stop_after_pairs: None,
             static_filter: StaticFilterMode::Off,
             parallel: ParallelOptions::default(),
+            crash_ledger_path: None,
+            worker_stall: Duration::from_secs(30),
         }
     }
 }
@@ -175,6 +201,13 @@ pub enum QuarantineReason {
     TrialFailures(String),
     /// The static pre-analysis refuted the pair before any trial ran.
     StaticallyPruned(PruneReason),
+    /// The [`supervisor`] saw this pair kill the campaign process this
+    /// many consecutive times; it is skipped on orders of the crash
+    /// ledger.
+    CrashLoop(u32),
+    /// A failure artifact for this work was torn, bit-flipped, or recorded
+    /// on a different program; the payload is the load/validation error.
+    CorruptArtifact(String),
 }
 
 impl QuarantineReason {
@@ -183,6 +216,8 @@ impl QuarantineReason {
         match self {
             QuarantineReason::TrialFailures(_) => "trial_failures",
             QuarantineReason::StaticallyPruned(_) => "statically_pruned",
+            QuarantineReason::CrashLoop(_) => "crash_loop",
+            QuarantineReason::CorruptArtifact(_) => "corrupt_artifact",
         }
     }
 
@@ -191,6 +226,8 @@ impl QuarantineReason {
         match self {
             QuarantineReason::TrialFailures(message) => message.clone(),
             QuarantineReason::StaticallyPruned(reason) => reason.tag().to_owned(),
+            QuarantineReason::CrashLoop(crashes) => crashes.to_string(),
+            QuarantineReason::CorruptArtifact(message) => message.clone(),
         }
     }
 }
@@ -201,6 +238,12 @@ impl fmt::Display for QuarantineReason {
             QuarantineReason::TrialFailures(message) => write!(f, "{message}"),
             QuarantineReason::StaticallyPruned(reason) => {
                 write!(f, "statically pruned: {reason}")
+            }
+            QuarantineReason::CrashLoop(crashes) => {
+                write!(f, "killed the campaign process {crashes} consecutive times")
+            }
+            QuarantineReason::CorruptArtifact(message) => {
+                write!(f, "corrupt artifact: {message}")
             }
         }
     }
@@ -295,7 +338,7 @@ impl JobOutcome {
             .iter()
             .filter_map(|entry| match &entry.reason {
                 QuarantineReason::StaticallyPruned(reason) => Some((entry.pair, *reason)),
-                QuarantineReason::TrialFailures(_) => None,
+                _ => None,
             })
             .collect()
     }
@@ -314,6 +357,10 @@ pub struct CampaignReport {
     /// [`CampaignOptions::predict`]); recorded so campaign artifacts are
     /// attributable when comparing epoch vs naive runs.
     pub detector: DetectorImpl,
+    /// What the startup recovery scan cleaned up (stale temp files, torn
+    /// checkpoints/artifacts sidelined to `.corrupt-N`). Run-relative, so
+    /// excluded from [`CampaignReport::canonical_json`].
+    pub recovery: Vec<RecoveryEvent>,
 }
 
 impl CampaignReport {
@@ -331,6 +378,24 @@ impl CampaignReport {
     /// Total quarantined pairs across jobs.
     pub fn quarantine_count(&self) -> usize {
         self.jobs.iter().map(|job| job.quarantined.len()).sum()
+    }
+
+    /// The report's canonical byte form: everything the campaign *found*,
+    /// excluding how it got there (`resumed`, recovery events). A run
+    /// killed and resumed a hundred times produces the same canonical
+    /// bytes as an uninterrupted one — the crash-torture harness's
+    /// equality oracle.
+    pub fn canonical_json(&self) -> String {
+        Json::obj(vec![
+            ("format_version", Json::u64(artifact::FORMAT_VERSION)),
+            ("detector", Json::str(self.detector.tag())),
+            ("interrupted", Json::Bool(self.interrupted)),
+            (
+                "jobs",
+                Json::Arr(self.jobs.iter().map(checkpoint::job_to_json).collect()),
+            ),
+        ])
+        .to_text()
     }
 }
 
@@ -452,7 +517,12 @@ impl Campaign {
         &self,
         runner: &(dyn TrialRunner + Sync),
     ) -> Result<CampaignReport, ArtifactError> {
-        let (mut jobs, resumed) = self.restore_or_fresh();
+        let mut events = Vec::new();
+        if let Some(dir) = &self.options.artifact_dir {
+            recovery::scan_artifact_dir(dir, &mut events);
+        }
+        let ledger = self.load_ledger(&mut events);
+        let (mut jobs, resumed) = self.restore_or_fresh(&mut events);
         let mut pairs_this_run = 0usize;
 
         for index in 0..self.jobs.len() {
@@ -493,6 +563,7 @@ impl Campaign {
                     index,
                     &mut jobs,
                     filter.as_ref(),
+                    &ledger,
                     &mut pairs_this_run,
                 )?
             } else {
@@ -501,6 +572,7 @@ impl Campaign {
                     index,
                     &mut jobs,
                     filter.as_ref(),
+                    &ledger,
                     &mut pairs_this_run,
                 )?
             };
@@ -518,6 +590,7 @@ impl Campaign {
                         interrupted: true,
                         resumed,
                         detector: self.options.predict.detector,
+                        recovery: events,
                     });
                 }
             }
@@ -528,7 +601,33 @@ impl Campaign {
             interrupted: false,
             resumed,
             detector: self.options.predict.detector,
+            recovery: events,
         })
+    }
+
+    /// Loads the crash ledger, sidelining it (and starting empty) if it is
+    /// torn or corrupt — a bad ledger must not wedge the campaign.
+    fn load_ledger(&self, events: &mut Vec<RecoveryEvent>) -> CrashLedger {
+        let Some(path) = &self.options.crash_ledger_path else {
+            return CrashLedger::empty();
+        };
+        recovery::sweep_tmp(path, events);
+        if !path.exists() {
+            return CrashLedger::empty();
+        }
+        match CrashLedger::load(path) {
+            Ok(ledger) => ledger,
+            Err(error) => {
+                if recovery::sideline(path).is_ok() {
+                    events.push(RecoveryEvent {
+                        path: path.clone(),
+                        action: RecoveryAction::SidelinedCorrupt,
+                        reason: error.to_string(),
+                    });
+                }
+                CrashLedger::empty()
+            }
+        }
     }
 
     /// The pre-existing sequential pair loop: fuzz, commit, checkpoint,
@@ -539,11 +638,17 @@ impl Campaign {
         index: usize,
         jobs: &mut [JobOutcome],
         filter: Option<&StaticRaceFilter>,
+        ledger: &CrashLedger,
         pairs_this_run: &mut usize,
     ) -> Result<PairsProgress, ArtifactError> {
         let job = &self.jobs[index];
         while jobs[index].next_pair < jobs[index].potential.len() {
             let target = jobs[index].potential[jobs[index].next_pair];
+            if let Some(crashes) = ledger.lookup(&jobs[index].name, jobs[index].next_pair) {
+                self.commit_crashloop(&mut jobs[index], target, crashes);
+                self.save_checkpoint(jobs)?;
+                continue;
+            }
             if self.options.static_filter == StaticFilterMode::Prune {
                 if let Some(reason) = filter.and_then(|f| f.refute(&job.program, &target)) {
                     self.commit_pruned(&mut jobs[index], target, reason);
@@ -582,6 +687,7 @@ impl Campaign {
         index: usize,
         jobs: &mut [JobOutcome],
         filter: Option<&StaticRaceFilter>,
+        ledger: &CrashLedger,
         pairs_this_run: &mut usize,
     ) -> Result<PairsProgress, ArtifactError> {
         let job = &self.jobs[index];
@@ -591,12 +697,19 @@ impl Campaign {
             return Ok(PairsProgress::Finished);
         }
         let targets: Vec<RacePair> = jobs[index].potential[start..].to_vec();
-        // Prune decisions are made up front on this thread — the filter is
-        // deterministic and cheap — so workers do pure trial work.
+        // Prune and crash-ledger decisions are made up front on this
+        // thread — both are deterministic and cheap — so workers do pure
+        // trial work.
+        let crash_looped: Vec<Option<u32>> = (0..targets.len())
+            .map(|offset| ledger.lookup(&jobs[index].name, start + offset))
+            .collect();
         let refuted: Vec<Option<PruneReason>> = targets
             .iter()
-            .map(|target| {
-                if self.options.static_filter == StaticFilterMode::Prune {
+            .enumerate()
+            .map(|(offset, target)| {
+                if crash_looped[offset].is_none()
+                    && self.options.static_filter == StaticFilterMode::Prune
+                {
                     filter.and_then(|f| f.refute(&job.program, target))
                 } else {
                     None
@@ -604,29 +717,52 @@ impl Campaign {
             })
             .collect();
         let work: Vec<usize> = (0..targets.len())
-            .filter(|&offset| refuted[offset].is_none())
+            .filter(|&offset| refuted[offset].is_none() && crash_looped[offset].is_none())
             .collect();
 
         let cursor = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
         let (sender, receiver) = mpsc::channel::<(usize, PairRun)>();
         let worker_count = self.options.parallel.workers.max(1).min(work.len().max(1));
+        // Worker-loss bookkeeping: which worker claimed each offset
+        // (worker id + 1; 0 = unclaimed), and which workers are still
+        // running. A worker that dies without delivering — injected via
+        // the `campaign.worker` failpoint, or a panic outside the
+        // per-trial guard — must not hang the commit loop forever.
+        let claimed: Vec<AtomicUsize> = (0..targets.len()).map(|_| AtomicUsize::new(0)).collect();
+        let alive: Vec<AtomicBool> = (0..worker_count).map(|_| AtomicBool::new(true)).collect();
 
         std::thread::scope(|scope| {
-            for _ in 0..worker_count {
+            for worker_id in 0..worker_count {
                 let sender = sender.clone();
                 let (cursor, stop, work, targets) = (&cursor, &stop, &work, &targets);
-                scope.spawn(move || loop {
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let slot = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&offset) = work.get(slot) else {
-                        break;
-                    };
-                    let run = run_pair(runner, &job.program, &job.entry, targets[offset], &self.options);
-                    if sender.send((offset, run)).is_err() {
-                        break; // the commit loop returned early
+                let (claimed, alive) = (&claimed, &alive);
+                scope.spawn(move || {
+                    // Flips the liveness flag on *any* exit path, panics
+                    // included, so the commit thread can tell a slow trial
+                    // from a result that will never arrive.
+                    let _liveness = WorkerGuard(&alive[worker_id]);
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&offset) = work.get(slot) else {
+                            break;
+                        };
+                        claimed[offset].store(worker_id + 1, Ordering::Release);
+                        if faults::hit("campaign.worker") == faults::Fault::Error {
+                            return; // injected worker death: deliver nothing
+                        }
+                        let run = catch_unwind(AssertUnwindSafe(|| {
+                            run_pair(runner, &job.program, &job.entry, targets[offset], &self.options)
+                        }));
+                        let Ok(run) = run else {
+                            return; // worker-level panic: die without delivering
+                        };
+                        if sender.send((offset, run)).is_err() {
+                            break; // the commit loop returned early
+                        }
                     }
                 });
             }
@@ -635,6 +771,11 @@ impl Campaign {
             let mut buffer: BTreeMap<usize, PairRun> = BTreeMap::new();
             for offset in 0..targets.len() {
                 let target = targets[offset];
+                if let Some(crashes) = crash_looped[offset] {
+                    self.commit_crashloop(&mut jobs[index], target, crashes);
+                    self.save_checkpoint(jobs)?;
+                    continue;
+                }
                 if let Some(reason) = refuted[offset] {
                     self.commit_pruned(&mut jobs[index], target, reason);
                     self.save_checkpoint(jobs)?;
@@ -644,13 +785,39 @@ impl Campaign {
                     if let Some(run) = buffer.remove(&offset) {
                         break run;
                     }
-                    let (arrived, run) = receiver
-                        .recv()
-                        .expect("a worker exited without delivering its pair");
-                    if arrived == offset {
-                        break run;
+                    match receiver.recv_timeout(self.options.worker_stall) {
+                        Ok((arrived, run)) => {
+                            if arrived == offset {
+                                break run;
+                            }
+                            buffer.insert(arrived, run);
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => {
+                            // Every worker has exited and this pair never
+                            // arrived: the claiming worker died mid-pair.
+                            break worker_loss_run(target, &self.options);
+                        }
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            // Only declare the pair lost if the worker that
+                            // claimed it is gone; a live worker is just
+                            // running long trials, so keep waiting.
+                            let claim = claimed[offset].load(Ordering::Acquire);
+                            let claimer_dead =
+                                claim != 0 && !alive[claim - 1].load(Ordering::Acquire);
+                            if claimer_dead {
+                                // Final drain: the claimer may have
+                                // delivered this pair and died on a later
+                                // one.
+                                while let Ok((arrived, run)) = receiver.try_recv() {
+                                    buffer.insert(arrived, run);
+                                }
+                                if let Some(run) = buffer.remove(&offset) {
+                                    break run;
+                                }
+                                break worker_loss_run(target, &self.options);
+                            }
+                        }
                     }
-                    buffer.insert(arrived, run);
                 };
                 let fatal = self.commit_pair(job, &mut jobs[index], run)?;
                 self.audit_pair(job, &mut jobs[index], filter, target);
@@ -685,6 +852,19 @@ impl Campaign {
             seed: self.options.base_seed,
             attempts: 0,
             reason: QuarantineReason::StaticallyPruned(reason),
+        });
+        state.next_pair += 1;
+    }
+
+    /// Commits a pair the crash ledger ordered skipped: same shape as
+    /// [`Campaign::commit_pruned`], different reason.
+    fn commit_crashloop(&self, state: &mut JobOutcome, target: RacePair, crashes: u32) {
+        state.reports.push(PairReport::empty(target));
+        state.quarantined.push(QuarantinedPair {
+            pair: target,
+            seed: self.options.base_seed,
+            attempts: 0,
+            reason: QuarantineReason::CrashLoop(crashes),
         });
         state.next_pair += 1;
     }
@@ -765,21 +945,22 @@ impl Campaign {
             location_precise: self.options.fuzz.location_precise,
             switch_only_at_sync: self.options.fuzz.switch_only_at_sync,
             wall_clock_ms: artifact::duration_ms(self.options.fuzz.wall_clock),
+            max_heap_cells: self.options.fuzz.max_heap_cells,
         };
         // Later attempts overwrite earlier ones: one artifact per failing
         // (pair, seed), always describing the most recent failure.
         artifact.save(&dir.join(artifact.file_name()))
     }
 
-    fn restore_or_fresh(&self) -> (Vec<JobOutcome>, bool) {
+    fn restore_or_fresh(&self, events: &mut Vec<RecoveryEvent>) -> (Vec<JobOutcome>, bool) {
         let fresh: Vec<JobOutcome> = self.jobs.iter().map(JobOutcome::fresh).collect();
         let Some(path) = &self.options.checkpoint_path else {
             return (fresh, false);
         };
-        if !path.exists() {
-            return (fresh, false);
-        }
-        let Ok(checkpoint) = Checkpoint::load(path) else {
+        // The recovery scan sweeps stale temp files and sidelines a torn
+        // or corrupt checkpoint (recorded as an event); either way the
+        // campaign starts from the best state that *verifiably* survived.
+        let Some(checkpoint) = recovery::recover_checkpoint(path, events) else {
             return (fresh, false);
         };
         if checkpoint.header
@@ -862,6 +1043,100 @@ impl Campaign {
                 ArtifactError::Malformed(format!("campaign has no job named '{}'", artifact.job))
             })?;
         reproduce_on(&job.program, &job.entry, runner, artifact)
+    }
+
+    /// Replays every artifact in `dir`, skipping (not crashing on) the
+    /// ones that are torn, bit-flipped, or recorded on a different
+    /// program. Each skip carries a structured
+    /// [`QuarantineReason::CorruptArtifact`]; paths are visited in sorted
+    /// order so the sweep is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Io`] only if the directory itself cannot
+    /// be read — per-artifact problems are `skipped` entries, not errors.
+    pub fn reproduce_dir(&self, dir: &Path) -> Result<ArtifactSweep, ArtifactError> {
+        let entries =
+            std::fs::read_dir(dir).map_err(|error| ArtifactError::Io(error.to_string()))?;
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(Result::ok)
+            .map(|entry| entry.path())
+            .filter(|path| {
+                path.file_name()
+                    .and_then(|name| name.to_str())
+                    .is_some_and(|name| name.ends_with(".json"))
+            })
+            .collect();
+        paths.sort();
+        let mut sweep = ArtifactSweep {
+            reproduced: Vec::new(),
+            skipped: Vec::new(),
+        };
+        for path in paths {
+            let artifact = match FailureArtifact::load(&path) {
+                Ok(artifact) => artifact,
+                Err(error) => {
+                    sweep
+                        .skipped
+                        .push((path, QuarantineReason::CorruptArtifact(error.to_string())));
+                    continue;
+                }
+            };
+            match self.reproduce(&artifact) {
+                Ok(reproduction) => sweep.reproduced.push((path, reproduction)),
+                Err(error) => sweep
+                    .skipped
+                    .push((path, QuarantineReason::CorruptArtifact(error.to_string()))),
+            }
+        }
+        Ok(sweep)
+    }
+}
+
+/// Result of [`Campaign::reproduce_dir`]: what replayed, what was skipped
+/// and why.
+#[derive(Debug)]
+pub struct ArtifactSweep {
+    /// Artifacts that loaded, validated, and replayed.
+    pub reproduced: Vec<(PathBuf, Reproduction)>,
+    /// Artifacts skipped, with the structured reason (torn file, CRC
+    /// mismatch, digest mismatch, unknown job).
+    pub skipped: Vec<(PathBuf, QuarantineReason)>,
+}
+
+/// Sets its worker's liveness flag to `false` when dropped — however the
+/// worker exits.
+struct WorkerGuard<'a>(&'a AtomicBool);
+
+impl Drop for WorkerGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+/// The [`PairRun`] the commit thread synthesizes for a pair whose worker
+/// died before delivering: one attributed failure, quarantined, and the
+/// campaign moves on.
+fn worker_loss_run(target: RacePair, options: &CampaignOptions) -> PairRun {
+    let kind = FailureKind::WorkerLoss(
+        "worker thread died before delivering this pair's trials".to_owned(),
+    );
+    PairRun {
+        report: PairReport::empty(target),
+        failures: vec![TrialFailure {
+            pair: target,
+            seed: options.base_seed,
+            attempt: 1,
+            step_budget: options.fuzz.max_steps,
+            kind: kind.clone(),
+        }],
+        quarantine: Some(QuarantinedPair {
+            pair: target,
+            seed: options.base_seed,
+            attempts: 1,
+            reason: QuarantineReason::TrialFailures(kind.to_string()),
+        }),
+        fatal: None,
     }
 }
 
@@ -987,6 +1262,13 @@ fn guarded_trial(
             }
             interp::Termination::DeadlineExceeded => {
                 Guarded::Failed(FailureKind::Deadline, Some(outcome))
+            }
+            // A blown heap budget is a *verdict on the program under
+            // test* — a reported termination absorbed into
+            // `PairReport::memory_trials` — not a harness failure, so it
+            // is never retried or quarantined.
+            interp::Termination::EngineError(interp::ExecError::MemoryBudget { .. }) => {
+                Guarded::Completed(outcome)
             }
             interp::Termination::EngineError(error) => {
                 Guarded::Failed(FailureKind::EngineError(error.to_string()), Some(outcome))

@@ -601,7 +601,7 @@ mod tests {
         assert_eq!(engine.race_count(), 1);
         let word = &engine.shadow[0];
         assert!(
-            1 + word.rest.len() <= 2,
+            word.rest.len() <= 1,
             "history stays bounded, got {}",
             1 + word.rest.len()
         );

@@ -65,6 +65,18 @@ pub enum ExecError {
         /// The thread whose stack underflowed.
         thread: ThreadId,
     },
+    /// An allocation would push the heap past its budget
+    /// ([`crate::Limits::max_heap_cells`]). Unlike the other variants this
+    /// is not an interpreter bug but a *resource verdict* on the program
+    /// under test: an adversarial workload degrades into this reported
+    /// termination instead of OOM-killing the whole harness. Campaign
+    /// drivers count it as a completed trial, not a retryable failure.
+    MemoryBudget {
+        /// Slots the heap would have held after the refused allocation.
+        used: u64,
+        /// The budget in force.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -75,6 +87,9 @@ impl fmt::Display for ExecError {
             }
             ExecError::FrameUnderflow { thread } => {
                 write!(f, "call stack underflow on thread {thread:?}")
+            }
+            ExecError::MemoryBudget { used, budget } => {
+                write!(f, "heap budget exceeded: {used} cells over a budget of {budget}")
             }
         }
     }
@@ -122,6 +137,9 @@ pub struct Execution<'p> {
     /// Set when an interpreter invariant is violated; the machine must not
     /// be stepped further once poisoned.
     poisoned: Option<ExecError>,
+    /// Heap-cell budget; `None` means unbounded (see
+    /// [`Execution::set_heap_budget`]).
+    heap_budget: Option<u64>,
 }
 
 impl<'p> Execution<'p> {
@@ -165,12 +183,44 @@ impl<'p> Execution<'p> {
             output: Vec::new(),
             uncaught: Vec::new(),
             poisoned: None,
+            heap_budget: None,
         })
     }
 
     /// The invariant violation that poisoned this machine, if any.
     pub fn engine_error(&self) -> Option<&ExecError> {
         self.poisoned.as_ref()
+    }
+
+    /// Caps total heap allocation at `budget` slots (see
+    /// [`crate::heap::alloc_cost`]); an allocation that would exceed it
+    /// poisons the machine with [`ExecError::MemoryBudget`], which drivers
+    /// surface as [`crate::Termination::EngineError`]. `None` (the default)
+    /// is unbounded.
+    pub fn set_heap_budget(&mut self, budget: Option<u64>) {
+        self.heap_budget = budget;
+    }
+
+    /// Charges an allocation of `len` fields/elements against the heap
+    /// budget and the `interp.alloc` failpoint. On refusal the machine is
+    /// poisoned and the caller must not allocate.
+    fn charge_alloc(&mut self, len: usize) -> bool {
+        if faults::hit("interp.alloc") == faults::Fault::Error {
+            self.poisoned = Some(ExecError::MemoryBudget {
+                used: self.heap.slots(),
+                budget: self.heap_budget.unwrap_or(0),
+            });
+            return false;
+        }
+        let Some(budget) = self.heap_budget else {
+            return true;
+        };
+        let used = self.heap.slots().saturating_add(crate::heap::alloc_cost(len));
+        if used > budget {
+            self.poisoned = Some(ExecError::MemoryBudget { used, budget });
+            return false;
+        }
+        true
     }
 
     /// The program being executed.
@@ -691,6 +741,9 @@ impl<'p> Execution<'p> {
             }
             &Instr::New { dst, class } => {
                 let field_count = self.program.classes[class.index()].fields.len();
+                if !self.charge_alloc(field_count) {
+                    return Ok(false); // poisoned; step() reports the error
+                }
                 let obj = self.heap.alloc_object(class, field_count);
                 self.set_local(thread, dst, Value::Ref(obj));
                 self.advance(thread);
@@ -713,6 +766,9 @@ impl<'p> Execution<'p> {
                         ));
                     }
                 };
+                if !self.charge_alloc(len) {
+                    return Ok(false); // poisoned; step() reports the error
+                }
                 let obj = self.heap.alloc_array(len);
                 self.set_local(thread, *dst, Value::Ref(obj));
                 self.advance(thread);

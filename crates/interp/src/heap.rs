@@ -28,6 +28,14 @@ pub enum HeapCell {
 #[derive(Clone, Debug, Default)]
 pub struct Heap {
     cells: Vec<HeapCell>,
+    slots: u64,
+}
+
+/// Value slots charged for an allocation of `len` fields or elements: the
+/// payload, with a floor of 1 so field-less objects and empty arrays still
+/// cost something (their `HeapCell` is real memory).
+pub fn alloc_cost(len: usize) -> u64 {
+    (len as u64).max(1)
 }
 
 impl Heap {
@@ -39,6 +47,7 @@ impl Heap {
     /// Allocates an object of `class` with `field_count` `null` fields.
     pub fn alloc_object(&mut self, class: ClassId, field_count: usize) -> ObjId {
         let id = ObjId(self.cells.len() as u32);
+        self.slots += alloc_cost(field_count);
         self.cells.push(HeapCell::Object {
             class,
             fields: vec![Value::Null; field_count],
@@ -49,10 +58,18 @@ impl Heap {
     /// Allocates an array of `len` `null`s.
     pub fn alloc_array(&mut self, len: usize) -> ObjId {
         let id = ObjId(self.cells.len() as u32);
+        self.slots += alloc_cost(len);
         self.cells.push(HeapCell::Array {
             elems: vec![Value::Null; len],
         });
         id
+    }
+
+    /// Total value slots ever allocated ([`alloc_cost`] per allocation) —
+    /// the quantity [`crate::Limits::max_heap_cells`] budgets. Monotone:
+    /// CIL has no free, so this is also the live footprint.
+    pub fn slots(&self) -> u64 {
+        self.slots
     }
 
     /// The cell for `id`.

@@ -213,6 +213,12 @@ pub struct Limits {
     /// every few hundred statements, so very short deadlines overshoot by
     /// at most one check interval.
     pub deadline: Option<std::time::Duration>,
+    /// Heap-cell budget for the run; `None` means unbounded. An
+    /// allocation that would exceed it ends the run with
+    /// [`Termination::EngineError`] carrying
+    /// [`crate::exec::ExecError::MemoryBudget`] — a *reported* resource
+    /// verdict, so an adversarial allocation loop cannot OOM the harness.
+    pub max_heap_cells: Option<u64>,
 }
 
 impl Default for Limits {
@@ -220,6 +226,7 @@ impl Default for Limits {
         Limits {
             max_steps: 2_000_000,
             deadline: None,
+            max_heap_cells: None,
         }
     }
 }
@@ -230,12 +237,19 @@ impl Limits {
         Limits {
             max_steps,
             deadline: None,
+            max_heap_cells: None,
         }
     }
 
     /// Builder-style: adds a wall-clock deadline.
     pub fn with_deadline(mut self, deadline: std::time::Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Builder-style: adds a heap-cell budget.
+    pub fn with_heap_cells(mut self, max_heap_cells: u64) -> Self {
+        self.max_heap_cells = Some(max_heap_cells);
         self
     }
 }
@@ -334,6 +348,9 @@ pub fn drive(
     limits: Limits,
 ) -> Termination {
     let started = limits.deadline.map(|_| std::time::Instant::now());
+    if limits.max_heap_cells.is_some() {
+        exec.set_heap_budget(limits.max_heap_cells);
+    }
     let mut iterations: u64 = 0;
     loop {
         if exec.steps() >= limits.max_steps {
@@ -477,6 +494,40 @@ mod tests {
     ) -> RunOutcome {
         let program = cil::compile(source).unwrap();
         run_with(&program, "main", scheduler, &mut NullObserver, limits).unwrap()
+    }
+
+    #[test]
+    fn heap_budget_stops_allocation_loops() {
+        // An adversarial allocator: each iteration allocates a 100-slot
+        // array. Without a budget this would run to the step limit holding
+        // ever more memory; with one it degrades into a typed engine error.
+        let outcome = run_limited(
+            r#"
+            proc main() {
+                while (true) { var a = new [100]; }
+            }
+            "#,
+            &mut RunToBlockScheduler::new(),
+            Limits::steps(1_000_000).with_heap_cells(1_000),
+        );
+        match outcome.termination {
+            Termination::EngineError(crate::exec::ExecError::MemoryBudget { used, budget }) => {
+                assert_eq!(budget, 1_000);
+                assert!(used > budget, "refused allocation exceeds budget");
+            }
+            other => panic!("expected MemoryBudget termination, got {other:?}"),
+        }
+        assert!(outcome.steps < 1_000_000, "stopped well before step limit");
+    }
+
+    #[test]
+    fn heap_budget_spares_modest_programs() {
+        let outcome = run_limited(
+            "proc main() { var a = new [10]; var b = new [10]; print 1; }",
+            &mut RunToBlockScheduler::new(),
+            Limits::default().with_heap_cells(1_000),
+        );
+        assert_eq!(outcome.termination, Termination::AllExited);
     }
 
     #[test]

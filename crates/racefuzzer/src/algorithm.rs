@@ -48,6 +48,7 @@ pub fn fuzz_once(
     config: &FuzzConfig,
 ) -> Result<FuzzOutcome, SetupError> {
     let mut exec = Execution::new(program, entry)?;
+    exec.set_heap_budget(config.max_heap_cells);
     let mut rng = Rng::seeded(config.seed);
     let mut observer = NullObserver;
 

@@ -42,6 +42,13 @@ pub struct FuzzConfig {
     /// decisions, same postponement guarantees. `false` (the default)
     /// follows Algorithm 1 literally, deciding at every statement.
     pub switch_only_at_sync: bool,
+    /// Heap-cell budget per trial ([`interp::Limits::max_heap_cells`]);
+    /// `None` means unbounded. An adversarial workload that allocates
+    /// without bound ends its trial with a typed
+    /// [`interp::ExecError::MemoryBudget`] engine error — a reported
+    /// termination, counted in [`crate::PairReport::memory_trials`] —
+    /// instead of OOM-killing the harness process.
+    pub max_heap_cells: Option<u64>,
 }
 
 impl Default for FuzzConfig {
@@ -54,6 +61,7 @@ impl Default for FuzzConfig {
             record_schedule: false,
             location_precise: true,
             switch_only_at_sync: false,
+            max_heap_cells: None,
         }
     }
 }

@@ -61,6 +61,17 @@ impl FuzzOutcome {
         matches!(self.termination, Termination::Deadlock(_))
     }
 
+    /// `true` if the trial was refused further allocation by the heap-cell
+    /// budget ([`crate::FuzzConfig::max_heap_cells`]) — a resource verdict
+    /// on the program under test, counted separately from harness
+    /// failures.
+    pub fn memory_limited(&self) -> bool {
+        matches!(
+            &self.termination,
+            Termination::EngineError(interp::ExecError::MemoryBudget { .. })
+        )
+    }
+
     /// `true` if some thread died of exception `name`.
     pub fn has_uncaught(&self, program: &cil::Program, name: &str) -> bool {
         self.uncaught

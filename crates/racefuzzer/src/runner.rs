@@ -90,6 +90,10 @@ pub struct PairReport {
     pub exceptions: BTreeMap<String, usize>,
     /// Trials that ended in a real deadlock.
     pub deadlock_trials: usize,
+    /// Trials cut off by the heap-cell budget
+    /// ([`FuzzConfig::max_heap_cells`]) — counted apart from harness
+    /// failures because they are a property of the program under test.
+    pub memory_trials: usize,
     /// Seed of the first race-creating trial (for replay).
     pub first_hit_seed: Option<u64>,
     /// Seed of the first exception-raising trial (for replay).
@@ -107,6 +111,7 @@ impl PairReport {
             exception_trials: 0,
             exceptions: BTreeMap::new(),
             deadlock_trials: 0,
+            memory_trials: 0,
             first_hit_seed: None,
             first_exception_seed: None,
         }
@@ -137,6 +142,9 @@ impl PairReport {
         }
         if outcome.deadlocked() {
             self.deadlock_trials += 1;
+        }
+        if outcome.memory_limited() {
+            self.memory_trials += 1;
         }
     }
 
@@ -175,6 +183,7 @@ impl PairReport {
             *self.exceptions.entry(name.clone()).or_insert(0) += count;
         }
         self.deadlock_trials += later.deadlock_trials;
+        self.memory_trials += later.memory_trials;
         if self.first_hit_seed.is_none() {
             self.first_hit_seed = later.first_hit_seed;
         }

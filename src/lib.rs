@@ -45,6 +45,8 @@ pub use sana;
 pub use vclock;
 pub use workloads;
 
+pub mod torture;
+
 /// The most common imports for using the two-phase pipeline.
 pub mod prelude {
     pub use campaign::{
