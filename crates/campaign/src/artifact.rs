@@ -11,7 +11,7 @@
 use crate::durable;
 use crate::json::{self, Json};
 use detector::RacePair;
-use racefuzzer::FuzzConfig;
+use racefuzzer::{FuzzConfig, Provenance};
 use std::path::Path;
 use std::time::Duration;
 
@@ -209,6 +209,10 @@ pub struct FailureArtifact {
     /// [`FuzzConfig::max_heap_cells`] of the failing trial (absent in
     /// format v2 artifacts, which predate the heap budget).
     pub max_heap_cells: Option<u64>,
+    /// Which candidate source proposed the target pair (artifacts that
+    /// predate static candidate generation load as
+    /// [`Provenance::Dynamic`]).
+    pub provenance: Provenance,
 }
 
 impl FailureArtifact {
@@ -269,6 +273,7 @@ impl FailureArtifact {
                     None => Json::Null,
                 },
             ),
+            ("provenance", Json::str(self.provenance.tag())),
         ])
     }
 
@@ -335,6 +340,11 @@ impl FailureArtifact {
             switch_only_at_sync: req_bool("switch_only_at_sync")?,
             wall_clock_ms: value.get("wall_clock_ms").and_then(Json::as_u64),
             max_heap_cells: value.get("max_heap_cells").and_then(Json::as_u64),
+            provenance: value
+                .get("provenance")
+                .and_then(Json::as_str)
+                .and_then(Provenance::from_tag)
+                .unwrap_or(Provenance::Dynamic),
         })
     }
 
@@ -445,6 +455,7 @@ mod tests {
             switch_only_at_sync: false,
             wall_clock_ms: Some(250),
             max_heap_cells: Some(1 << 20),
+            provenance: Provenance::Both,
         }
     }
 
@@ -489,7 +500,7 @@ mod tests {
         let mut value = sample().to_json();
         if let Json::Obj(fields) = &mut value {
             fields[0].1 = Json::u64(2);
-            fields.retain(|(key, _)| key != "max_heap_cells");
+            fields.retain(|(key, _)| key != "max_heap_cells" && key != "provenance");
         }
         let dir = std::env::temp_dir().join(format!("artifact-v2-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -497,6 +508,7 @@ mod tests {
         std::fs::write(&path, value.to_text()).unwrap();
         let loaded = FailureArtifact::load(&path).unwrap();
         assert_eq!(loaded.max_heap_cells, None);
+        assert_eq!(loaded.provenance, Provenance::Dynamic);
         assert_eq!(loaded.seed, sample().seed);
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -26,7 +26,7 @@ use crate::{JobOutcome, QuarantineReason, QuarantinedPair};
 use sana::PruneReason;
 use cil::flat::InstrId;
 use detector::RacePair;
-use racefuzzer::PairReport;
+use racefuzzer::{PairReport, Provenance};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
@@ -349,6 +349,15 @@ pub(crate) fn job_to_json(job: &JobOutcome) -> Json {
             Json::Arr(job.potential.iter().map(pair_to_json).collect()),
         ),
         (
+            "provenance",
+            Json::Arr(
+                job.provenance
+                    .iter()
+                    .map(|p| Json::str(p.tag()))
+                    .collect(),
+            ),
+        ),
+        (
             "reports",
             Json::Arr(job.reports.iter().map(report_to_json).collect()),
         ),
@@ -385,6 +394,27 @@ fn job_from_json(value: &Json) -> Result<JobOutcome, ArtifactError> {
     let digest_text = field("program_digest")?
         .as_str()
         .ok_or_else(|| ArtifactError::Malformed("bad program_digest".into()))?;
+    let potential: Vec<RacePair> = field("potential")?
+        .as_arr()
+        .ok_or_else(|| ArtifactError::Malformed("bad potential".into()))?
+        .iter()
+        .map(pair_from_json)
+        .collect::<Result<_, _>>()?;
+    // Pre-provenance checkpoints have no `provenance` array; every pair in
+    // them came from dynamic Phase 1.
+    let provenance = match value.get("provenance") {
+        Some(entry) => entry
+            .as_arr()
+            .ok_or_else(|| ArtifactError::Malformed("bad provenance".into()))?
+            .iter()
+            .map(|p| {
+                p.as_str()
+                    .and_then(Provenance::from_tag)
+                    .ok_or_else(|| ArtifactError::Malformed("bad provenance tag".into()))
+            })
+            .collect::<Result<_, _>>()?,
+        None => vec![Provenance::Dynamic; potential.len()],
+    };
     Ok(JobOutcome {
         name: field("name")?
             .as_str()
@@ -399,12 +429,8 @@ fn job_from_json(value: &Json) -> Result<JobOutcome, ArtifactError> {
         predicted: field("predicted")?
             .as_bool()
             .ok_or_else(|| ArtifactError::Malformed("bad predicted".into()))?,
-        potential: field("potential")?
-            .as_arr()
-            .ok_or_else(|| ArtifactError::Malformed("bad potential".into()))?
-            .iter()
-            .map(pair_from_json)
-            .collect::<Result<_, _>>()?,
+        potential,
+        provenance,
         reports: field("reports")?
             .as_arr()
             .ok_or_else(|| ArtifactError::Malformed("bad reports".into()))?
@@ -464,6 +490,7 @@ mod tests {
             program_digest: 0xdead_beef_0000_1111,
             predicted: true,
             potential: vec![pair],
+            provenance: vec![Provenance::Both],
             reports: vec![report],
             quarantined: vec![
                 QuarantinedPair {

@@ -74,9 +74,12 @@ pub use recovery::{RecoveryAction, RecoveryEvent};
 pub use supervisor::{supervise, ChildExit, CrashLedger, SupervisorOptions, SupervisorOutcome};
 
 use crate::json::Json;
-use detector::{predict_races, DetectorImpl, PredictConfig, RacePair};
+use detector::{DetectorImpl, PredictConfig, RacePair};
 use interp::SetupError;
-use racefuzzer::{fuzz_pair_once, FuzzConfig, FuzzOutcome, PairReport, ParallelOptions};
+use racefuzzer::{
+    fuzz_pair_once, CandidateSource, FuzzConfig, FuzzOutcome, PairReport, ParallelOptions,
+    Provenance,
+};
 use sana::{PruneReason, StaticRaceFilter};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -154,6 +157,11 @@ pub struct CampaignOptions {
     pub stop_after_pairs: Option<usize>,
     /// Static pre-analysis mode (default [`StaticFilterMode::Off`]).
     pub static_filter: StaticFilterMode,
+    /// Where candidate pairs come from (default: the dynamic Phase-1
+    /// detector, the paper's protocol). [`CandidateSource::Static`] skips
+    /// profiling entirely; [`CandidateSource::Union`] appends the static
+    /// generator's extra pairs after the dynamic predictions.
+    pub source: CandidateSource,
     /// Phase-2 worker pool (default: sequential). With more than one
     /// worker, pairs are fuzzed concurrently — each trial still isolated by
     /// `catch_unwind` inside its worker — but results are *committed*
@@ -187,6 +195,7 @@ impl Default for CampaignOptions {
             checkpoint_path: None,
             stop_after_pairs: None,
             static_filter: StaticFilterMode::Off,
+            source: CandidateSource::default(),
             parallel: ParallelOptions::default(),
             crash_ledger_path: None,
             worker_stall: Duration::from_secs(30),
@@ -278,6 +287,9 @@ pub struct JobOutcome {
     pub predicted: bool,
     /// Phase-1 output.
     pub potential: Vec<RacePair>,
+    /// Which phase proposed each pair, parallel to `potential` (all
+    /// [`Provenance::Dynamic`] for pre-provenance checkpoints).
+    pub provenance: Vec<Provenance>,
     /// Per-pair Phase-2 statistics for completed pairs (parallel prefix of
     /// `potential`; a quarantined pair's report covers the trials that
     /// finished before quarantine).
@@ -307,6 +319,7 @@ impl JobOutcome {
             program_digest: program_digest(&job.program),
             predicted: false,
             potential: Vec::new(),
+            provenance: Vec::new(),
             reports: Vec::new(),
             quarantined: Vec::new(),
             soundness_bugs: Vec::new(),
@@ -532,9 +545,10 @@ impl Campaign {
             let job = &self.jobs[index];
 
             if !jobs[index].predicted {
-                match guarded_predict(job, &self.options.predict) {
-                    Ok(potential) => {
+                match guarded_predict(job, &self.options.predict, self.options.source) {
+                    Ok((potential, provenance)) => {
                         jobs[index].potential = potential;
+                        jobs[index].provenance = provenance;
                         jobs[index].predicted = true;
                     }
                     Err(message) => {
@@ -946,6 +960,14 @@ impl Campaign {
             switch_only_at_sync: self.options.fuzz.switch_only_at_sync,
             wall_clock_ms: artifact::duration_ms(self.options.fuzz.wall_clock),
             max_heap_cells: self.options.fuzz.max_heap_cells,
+            // The failing pair is the one currently being fuzzed — its
+            // report has not been committed yet, so its index is the
+            // report count. Pre-provenance jobs default to Dynamic.
+            provenance: state
+                .provenance
+                .get(state.reports.len())
+                .copied()
+                .unwrap_or(Provenance::Dynamic),
         };
         // Later attempts overwrite earlier ones: one artifact per failing
         // (pair, seed), always describing the most recent failure.
@@ -1278,9 +1300,13 @@ fn guarded_trial(
     }
 }
 
-fn guarded_predict(job: &CampaignJob, predict: &PredictConfig) -> Result<Vec<RacePair>, String> {
+fn guarded_predict(
+    job: &CampaignJob,
+    predict: &PredictConfig,
+    source: CandidateSource,
+) -> Result<(Vec<RacePair>, Vec<Provenance>), String> {
     let result = catch_unwind(AssertUnwindSafe(|| {
-        predict_races(&job.program, &job.entry, predict)
+        racefuzzer::gather_candidates(&job.program, &job.entry, predict, source)
     }));
     match result {
         Err(payload) => Err(format!(
@@ -1288,7 +1314,7 @@ fn guarded_predict(job: &CampaignJob, predict: &PredictConfig) -> Result<Vec<Rac
             panic_message(payload.as_ref())
         )),
         Ok(Err(setup)) => Err(format!("setup error: {setup}")),
-        Ok(Ok(potential)) => Ok(potential),
+        Ok(Ok(gathered)) => Ok(gathered),
     }
 }
 

@@ -243,7 +243,8 @@ impl Observer for DetectorEngine {
             Event::ThreadSpawned { .. }
             | Event::ThreadExited { .. }
             | Event::ExceptionThrown { .. }
-            | Event::ExceptionCaught { .. } => {}
+            | Event::ExceptionCaught { .. }
+            | Event::Allocated { .. } => {}
         }
     }
 }

@@ -481,7 +481,8 @@ impl Observer for EpochEngine {
             Event::ThreadSpawned { .. }
             | Event::ThreadExited { .. }
             | Event::ExceptionThrown { .. }
-            | Event::ExceptionCaught { .. } => {}
+            | Event::ExceptionCaught { .. }
+            | Event::Allocated { .. } => {}
         }
     }
 }

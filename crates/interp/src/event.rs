@@ -128,6 +128,16 @@ pub enum Event {
         /// The exception name.
         name: Symbol,
     },
+    /// A heap object or array was allocated — lets observers map runtime
+    /// object ids back to static allocation sites.
+    Allocated {
+        /// The allocating thread.
+        thread: ThreadId,
+        /// The fresh object.
+        obj: ObjId,
+        /// The `New`/`NewArray` instruction (the allocation site).
+        site: InstrId,
+    },
 }
 
 /// Receives dynamic events during execution.

@@ -745,6 +745,11 @@ impl<'p> Execution<'p> {
                     return Ok(false); // poisoned; step() reports the error
                 }
                 let obj = self.heap.alloc_object(class, field_count);
+                observer.on_event(&Event::Allocated {
+                    thread,
+                    obj,
+                    site: pc,
+                });
                 self.set_local(thread, dst, Value::Ref(obj));
                 self.advance(thread);
             }
@@ -770,6 +775,11 @@ impl<'p> Execution<'p> {
                     return Ok(false); // poisoned; step() reports the error
                 }
                 let obj = self.heap.alloc_array(len);
+                observer.on_event(&Event::Allocated {
+                    thread,
+                    obj,
+                    site: pc,
+                });
                 self.set_local(thread, *dst, Value::Ref(obj));
                 self.advance(thread);
             }

@@ -68,7 +68,8 @@ pub use deadlock::{
 pub use outcome::{FuzzOutcome, RealRaceEvent};
 pub use parallel::{fuzz_pairs_parallel, ParallelOptions};
 pub use runner::{
-    analyze, fuzz_pair, simple_random_exceptions, AnalysisReport, AnalyzeOptions, PairReport,
+    analyze, fuzz_pair, gather_candidates, simple_random_exceptions, AnalysisReport,
+    AnalyzeOptions, CandidateSource, PairReport, Provenance,
 };
 pub use trace::render_trace;
 

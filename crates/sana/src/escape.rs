@@ -1,19 +1,34 @@
-//! Thread-escape analysis.
+//! Points-to-derived thread-escape analysis.
 //!
 //! An allocation site **escapes** its creating thread when a reference to
-//! it may become reachable by another thread: stored into a global, stored
-//! into any heap location (globals and the heap are shared soup — we do not
-//! distinguish confined containers), or passed as a spawn argument.
-//! References that move only through locals, call arguments, and return
-//! values stay on the creating thread's stack, so every access whose base
-//! object is proven non-escaping is executed by one thread only and can
-//! never race.
+//! it may become reachable by another thread. The roots are exactly the
+//! cross-thread channels:
+//!
+//! - every site a **global** may hold ([`PointsTo::global`]);
+//! - every site passed as a **spawn argument** (it lands in the child
+//!   thread's frame);
+//! - every site stored through an `unknown` base ([`PointsTo::leaked`] —
+//!   the analysis cannot tell *where* it went, so it may be anywhere).
+//!
+//! Escape then closes over heap reachability: if an object escapes, so
+//! does everything its fields and elements may hold — another thread can
+//! follow the pointer chain. Unlike the previous ad-hoc pass (which
+//! treated *any* heap store as publication), a store into a **confined
+//! container** no longer leaks the payload: the container's cells are only
+//! reachable by the one thread that can reach the container.
+//!
+//! References that move only through locals, call arguments, return
+//! values, and confined heap cells stay with the creating thread, so every
+//! access whose base object is proven non-escaping is executed by one
+//! thread only and can never race.
+
+use std::collections::VecDeque;
 
 use cil::flat::{Instr, InstrId, LocalId};
 use cil::Program;
 
 use crate::cfg::Cfg;
-use crate::locks::LockAnalysis;
+use crate::points_to::PointsTo;
 
 /// Escape facts per allocation site.
 #[derive(Clone, Debug)]
@@ -24,29 +39,44 @@ pub struct EscapeAnalysis {
 
 impl EscapeAnalysis {
     /// Marks every allocation site whose reference may leave its creating
-    /// thread's stack.
-    pub fn build(program: &Program, cfg: &Cfg, locks: &LockAnalysis) -> EscapeAnalysis {
+    /// thread, seeding from globals, spawn arguments, and leaked stores,
+    /// then closing over heap reachability.
+    pub fn build(program: &Program, cfg: &Cfg, pts: &PointsTo) -> EscapeAnalysis {
         let mut escaped = vec![false; program.instr_count()];
-        let leak = |proc: cil::flat::ProcId, expr: &cil::flat::PureExpr, escaped: &mut Vec<bool>| {
-            for local in locals_of_expr(expr) {
-                let set = locks.value_set(proc, local);
-                for site in &set.sites {
-                    escaped[site.index()] = true;
-                }
+        let mut queue: VecDeque<InstrId> = VecDeque::new();
+        let root = |site: InstrId, escaped: &mut Vec<bool>, queue: &mut VecDeque<InstrId>| {
+            if !escaped[site.index()] {
+                escaped[site.index()] = true;
+                queue.push_back(site);
             }
         };
+
+        for global in 0..program.globals.len() {
+            for &site in &pts.global(cil::flat::GlobalId(global as u32)).sites {
+                root(site, &mut escaped, &mut queue);
+            }
+        }
         for (index, instr) in program.instrs.iter().enumerate() {
-            let proc = cfg.owner(InstrId(index as u32));
-            match instr {
-                Instr::StoreGlobal { src, .. } => leak(proc, src, &mut escaped),
-                Instr::StoreField { src, .. } => leak(proc, src, &mut escaped),
-                Instr::StoreElem { src, .. } => leak(proc, src, &mut escaped),
-                Instr::Spawn { args, .. } => {
-                    for arg in args {
-                        leak(proc, arg, &mut escaped);
+            if let Instr::Spawn { args, .. } = instr {
+                let proc = cfg.owner(InstrId(index as u32));
+                for arg in args {
+                    if let cil::flat::PureExpr::Local(local) = arg {
+                        for &site in &pts.local(proc, *local).sites {
+                            root(site, &mut escaped, &mut queue);
+                        }
                     }
                 }
-                _ => {}
+            }
+        }
+        for &site in &pts.leaked().sites {
+            root(site, &mut escaped, &mut queue);
+        }
+
+        while let Some(site) = queue.pop_front() {
+            for contents in pts.heap_contents(site) {
+                for &held in &contents.sites {
+                    root(held, &mut escaped, &mut queue);
+                }
             }
         }
         EscapeAnalysis { escaped }
@@ -60,7 +90,7 @@ impl EscapeAnalysis {
     /// Is `id` a field/element access whose base object certainly never
     /// escapes its creating thread? Such accesses cannot race: only the
     /// allocating thread can ever reach the object.
-    pub fn confined_access(&self, program: &Program, cfg: &Cfg, locks: &LockAnalysis, id: InstrId) -> bool {
+    pub fn confined_access(&self, program: &Program, cfg: &Cfg, pts: &PointsTo, id: InstrId) -> bool {
         let base: Option<LocalId> = match program.instr(id) {
             Instr::LoadField { obj, .. } | Instr::StoreField { obj, .. } => Some(*obj),
             Instr::LoadElem { arr, .. } | Instr::StoreElem { arr, .. } => Some(*arr),
@@ -68,43 +98,29 @@ impl EscapeAnalysis {
             _ => None,
         };
         let Some(base) = base else { return false };
-        let set = locks.value_set(cfg.owner(id), base);
+        let set = pts.local(cfg.owner(id), base);
         !set.unknown
             && !set.sites.is_empty()
             && set.sites.iter().all(|site| !self.escapes(*site))
     }
 }
 
-fn locals_of_expr(expr: &cil::flat::PureExpr) -> Vec<LocalId> {
-    use cil::flat::PureExpr;
-    match expr {
-        PureExpr::Const(_) => Vec::new(),
-        PureExpr::Local(id) => vec![*id],
-        // Unary/binary results are never references, but their operands
-        // cannot smuggle a reference out either (the result is a scalar),
-        // so nothing leaks through them.
-        PureExpr::Unary { .. } | PureExpr::Binary { .. } | PureExpr::Len(_) => Vec::new(),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::callgraph::CallGraph;
 
-    fn analyze(source: &str) -> (Program, Cfg, LockAnalysis, EscapeAnalysis) {
+    fn analyze(source: &str) -> (Program, Cfg, PointsTo, EscapeAnalysis) {
         let program = cil::compile(source).unwrap();
         let cfg = Cfg::build(&program);
         let entry = program.proc_named("main").unwrap();
-        let graph = CallGraph::build(&program, &cfg, entry);
-        let locks = LockAnalysis::build(&program, &cfg, &graph, entry);
-        let escape = EscapeAnalysis::build(&program, &cfg, &locks);
-        (program, cfg, locks, escape)
+        let pts = PointsTo::build(&program, &cfg, entry);
+        let escape = EscapeAnalysis::build(&program, &cfg, &pts);
+        (program, cfg, pts, escape)
     }
 
     #[test]
     fn local_scratch_object_is_confined() {
-        let (program, cfg, locks, escape) = analyze(
+        let (program, cfg, pts, escape) = analyze(
             r#"
             class Point { x }
             proc main() {
@@ -115,13 +131,13 @@ mod tests {
             }
             "#,
         );
-        assert!(escape.confined_access(&program, &cfg, &locks, program.tagged_access("w")));
-        assert!(escape.confined_access(&program, &cfg, &locks, program.tagged_access("r")));
+        assert!(escape.confined_access(&program, &cfg, &pts, program.tagged_access("w")));
+        assert!(escape.confined_access(&program, &cfg, &pts, program.tagged_access("r")));
     }
 
     #[test]
     fn global_published_object_escapes() {
-        let (program, cfg, locks, escape) = analyze(
+        let (program, cfg, pts, escape) = analyze(
             r#"
             class Point { x }
             global shared;
@@ -132,12 +148,12 @@ mod tests {
             }
             "#,
         );
-        assert!(!escape.confined_access(&program, &cfg, &locks, program.tagged_access("w")));
+        assert!(!escape.confined_access(&program, &cfg, &pts, program.tagged_access("w")));
     }
 
     #[test]
     fn spawn_argument_escapes() {
-        let (program, cfg, locks, escape) = analyze(
+        let (program, cfg, pts, escape) = analyze(
             r#"
             class Point { x }
             proc worker(p) { @remote p.x = 2; }
@@ -149,13 +165,13 @@ mod tests {
             }
             "#,
         );
-        assert!(!escape.confined_access(&program, &cfg, &locks, program.tagged_access("local")));
-        assert!(!escape.confined_access(&program, &cfg, &locks, program.tagged_access("remote")));
+        assert!(!escape.confined_access(&program, &cfg, &pts, program.tagged_access("local")));
+        assert!(!escape.confined_access(&program, &cfg, &pts, program.tagged_access("remote")));
     }
 
     #[test]
     fn call_argument_does_not_escape() {
-        let (program, cfg, locks, escape) = analyze(
+        let (program, cfg, pts, escape) = analyze(
             r#"
             class Point { x }
             proc bump(p) { @callee p.x = p.x + 1; }
@@ -167,12 +183,53 @@ mod tests {
             }
             "#,
         );
-        assert!(escape.confined_access(&program, &cfg, &locks, program.tagged_access("caller")));
+        assert!(escape.confined_access(&program, &cfg, &pts, program.tagged_access("caller")));
         assert!(escape.confined_access(
             &program,
             &cfg,
-            &locks,
+            &pts,
             program.tagged_accesses("callee")[0]
         ));
+    }
+
+    #[test]
+    fn store_into_confined_container_stays_confined() {
+        // The old reachability pass leaked `p` the moment it was stored
+        // into *any* heap cell; points-to keeps it confined because the
+        // container itself never escapes.
+        let (program, cfg, pts, escape) = analyze(
+            r#"
+            class Box { inner }
+            class Point { x }
+            proc main() {
+                var b = new Box;
+                var p = new Point;
+                b.inner = p;
+                var q = b.inner;
+                @w q.x = 1;
+            }
+            "#,
+        );
+        assert!(escape.confined_access(&program, &cfg, &pts, program.tagged_access("w")));
+    }
+
+    #[test]
+    fn escape_closes_over_published_containers() {
+        let (program, cfg, pts, escape) = analyze(
+            r#"
+            class Box { inner }
+            class Point { x }
+            global shared;
+            proc main() {
+                var b = new Box;
+                var p = new Point;
+                b.inner = p;
+                shared = b;
+                @w p.x = 1;
+            }
+            "#,
+        );
+        // Publishing the container publishes its contents.
+        assert!(!escape.confined_access(&program, &cfg, &pts, program.tagged_access("w")));
     }
 }

@@ -19,6 +19,7 @@ use crate::cfg::Cfg;
 use crate::escape::EscapeAnalysis;
 use crate::locks::LockAnalysis;
 use crate::mhp::Mhp;
+use crate::points_to::PointsTo;
 
 /// Why a candidate pair cannot race.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -129,6 +130,7 @@ pub struct StaticRaceFilter {
     cfg: Cfg,
     graph: CallGraph,
     mhp: Mhp,
+    points_to: PointsTo,
     locks: LockAnalysis,
     escape: EscapeAnalysis,
 }
@@ -139,12 +141,14 @@ impl StaticRaceFilter {
         let cfg = Cfg::build(program);
         let graph = CallGraph::build(program, &cfg, entry);
         let mhp = Mhp::build(program, &cfg, &graph, entry);
-        let locks = LockAnalysis::build(program, &cfg, &graph, entry);
-        let escape = EscapeAnalysis::build(program, &cfg, &locks);
+        let points_to = PointsTo::build(program, &cfg, entry);
+        let locks = LockAnalysis::build(program, &cfg, &graph, &points_to, entry);
+        let escape = EscapeAnalysis::build(program, &cfg, &points_to);
         StaticRaceFilter {
             cfg,
             graph,
             mhp,
+            points_to,
             locks,
             escape,
         }
@@ -182,13 +186,43 @@ impl StaticRaceFilter {
 
         // One confined side suffices: a race partner would have to reach an
         // object only the creating thread can see.
-        if self.escape.confined_access(program, &self.cfg, &self.locks, a)
-            || self.escape.confined_access(program, &self.cfg, &self.locks, b)
+        if self.escape.confined_access(program, &self.cfg, &self.points_to, a)
+            || self.escape.confined_access(program, &self.cfg, &self.points_to, b)
         {
             return Some(PruneReason::ThreadConfined);
         }
 
         None
+    }
+
+    /// May the two instructions touch the same memory location? `true` when
+    /// both are shared accesses of the same shape (same global; same field
+    /// name with overlapping base points-to sets; element accesses with
+    /// overlapping bases). Non-memory instructions never alias.
+    pub fn may_alias(&self, program: &Program, a: InstrId, b: InstrId) -> bool {
+        use cil::flat::Instr;
+        let base_overlap = |oa: cil::flat::LocalId, ob: cil::flat::LocalId| {
+            let sa = self.points_to.local(self.cfg.owner(a), oa);
+            let sb = self.points_to.local(self.cfg.owner(b), ob);
+            sa.may_overlap(sb)
+        };
+        match (program.instr(a), program.instr(b)) {
+            (
+                Instr::LoadGlobal { global: ga, .. } | Instr::StoreGlobal { global: ga, .. },
+                Instr::LoadGlobal { global: gb, .. } | Instr::StoreGlobal { global: gb, .. },
+            ) => ga == gb,
+            (
+                Instr::LoadField { obj: oa, field: fa, .. }
+                | Instr::StoreField { obj: oa, field: fa, .. },
+                Instr::LoadField { obj: ob, field: fb, .. }
+                | Instr::StoreField { obj: ob, field: fb, .. },
+            ) => fa == fb && base_overlap(*oa, *ob),
+            (
+                Instr::LoadElem { arr: oa, .. } | Instr::StoreElem { arr: oa, .. },
+                Instr::LoadElem { arr: ob, .. } | Instr::StoreElem { arr: ob, .. },
+            ) => base_overlap(*oa, *ob),
+            _ => false,
+        }
     }
 
     /// Splits candidates into survivors and pruned pairs with reasons,
@@ -239,6 +273,11 @@ impl StaticRaceFilter {
     /// The MHP facts.
     pub fn mhp(&self) -> &Mhp {
         &self.mhp
+    }
+
+    /// The points-to facts every other analysis is built on.
+    pub fn points_to(&self) -> &PointsTo {
+        &self.points_to
     }
 
     /// The lock analyses.
@@ -357,6 +396,67 @@ mod tests {
         // single object dynamically, but the analysis cannot know.)
         let pair = RacePair::new(program.tagged_access("w"), program.tagged_access("w"));
         assert_ne!(filter.refute(&program, &pair), Some(PruneReason::CommonLock));
+    }
+
+    #[test]
+    fn heap_loaded_common_lock_is_refuted_via_points_to() {
+        // Both threads guard `x` with a lock they *load from a field* —
+        // neither lock local is a direct `new`. The old value flow marked
+        // heap loads unknown, so this pair was unprunable; points-to
+        // resolves both locals to the same allocate-once Lock site.
+        let (program, filter) = filter_for(
+            r#"
+            class Box { guard }
+            class Lock { }
+            global box;
+            global x = 0;
+            proc worker() {
+                var b = box;
+                var m = b.guard;
+                sync (m) { @w x = 1; }
+            }
+            proc main() {
+                box = new Box;
+                box.guard = new Lock;
+                var t = spawn worker();
+                var b = box;
+                var m = b.guard;
+                sync (m) { @m x = 2; }
+                join t;
+            }
+            "#,
+        );
+        let pair = RacePair::new(program.tagged_access("w"), program.tagged_access("m"));
+        assert_eq!(filter.refute(&program, &pair), Some(PruneReason::CommonLock));
+    }
+
+    #[test]
+    fn may_alias_distinguishes_fields_and_sites() {
+        let (program, filter) = filter_for(
+            r#"
+            class Point { x, y }
+            global x = 0;
+            proc main() {
+                var p = new Point;
+                var q = new Point;
+                var r = p;
+                @px p.x = 1;
+                @rx r.x = 2;
+                @qx q.x = 3;
+                @py p.y = 4;
+                @g x = 5;
+            }
+            "#,
+        );
+        let at = |tag: &str| program.tagged_access(tag);
+        // Same object through an alias, same field: may alias.
+        assert!(filter.may_alias(&program, at("px"), at("rx")));
+        // Distinct allocation sites never alias.
+        assert!(!filter.may_alias(&program, at("px"), at("qx")));
+        // Same object, different fields: disjoint cells.
+        assert!(!filter.may_alias(&program, at("px"), at("py")));
+        // A field access and a global access never alias.
+        assert!(!filter.may_alias(&program, at("px"), at("g")));
     }
 
     #[test]

@@ -8,10 +8,14 @@
 //! - [`cfg`] — per-procedure control-flow graphs with exceptional edges;
 //! - [`callgraph`] — interprocedural call/spawn graph and execution counts;
 //! - [`mhp`] — spawn/join-structure may-happen-in-parallel analysis;
+//! - [`points_to`] — Andersen-style interprocedural points-to analysis over
+//!   allocation-site abstract objects; the shared aliasing substrate;
 //! - [`locks`] — flow-sensitive must-held-lockset dataflow and a static
 //!   lock-order graph mirroring `detector::lockgraph`;
-//! - [`escape`] — thread-escape analysis proving allocations confined to
-//!   their creating thread;
+//! - [`escape`] — points-to-derived thread-escape analysis proving
+//!   allocations confined to their creating thread;
+//! - [`candidates`] — the standalone static race-candidate generator
+//!   (Phase 1 without a profiling run);
 //! - [`lint`] — span-mapped diagnostics for the `cil-lint` driver.
 //!
 //! [`StaticRaceFilter`] combines them: [`StaticRaceFilter::refute`] returns
@@ -33,12 +37,16 @@
 #![warn(missing_docs)]
 
 pub mod callgraph;
+pub mod candidates;
 pub mod cfg;
 pub mod escape;
 pub mod lint;
 pub mod locks;
 pub mod mhp;
+pub mod points_to;
 
 mod filter;
 
+pub use candidates::{CandidateStats, StaticCandidateReport};
 pub use filter::{FilterStats, PruneReason, SoundnessBug, StaticRaceFilter};
+pub use points_to::{PointsTo, PtsSet};

@@ -1,6 +1,6 @@
 //! Span-mapped static diagnostics for the `cil-lint` driver.
 //!
-//! Three warning families, all derived from the same analyses as the race
+//! Warning families, all derived from the same analyses as the race
 //! filter, plus structural IR errors from [`cil::validate`]:
 //!
 //! - **unprotected-shared-access** — two conflicting accesses (same
@@ -9,12 +9,17 @@
 //! - **inconsistent-lock-discipline** — a parallel conflicting pair where
 //!   locks are held but no common allocate-once lock protects both sides;
 //! - **lock-order-cycle** — the static analogue of
-//!   `detector::lockgraph`: nested must-held acquisitions form a cycle
-//!   whose edges may come from distinct threads and share no gate lock.
+//!   `detector::lockgraph`: two nested must-held acquisitions in opposite
+//!   order, from edges that may come from distinct threads and share no
+//!   gate lock;
+//! - **lock-order-inversion** — the same property through a *longer* cycle
+//!   (three or more locks), which pairwise inspection misses;
+//! - **may-race** (`--races` mode only) — one diagnostic per statically
+//!   generated race candidate from [`crate::candidates`].
 //!
-//! Lint is a *may* analysis: a clean report is not a proof of race freedom
-//! (aliasing through the heap is unknown-poisoned, not tracked), but every
-//! diagnostic points at a pair the static race filter could not discharge.
+//! Lint is a *may* analysis: a clean report is not a proof of race freedom,
+//! but every diagnostic points at a pair the static race filter could not
+//! discharge.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -24,6 +29,7 @@ use cil::span::Span;
 use cil::Program;
 
 use crate::callgraph::ExecCount;
+use crate::candidates;
 use crate::filter::StaticRaceFilter;
 
 /// The diagnostic families `cil-lint` emits.
@@ -35,8 +41,12 @@ pub enum LintKind {
     UnprotectedSharedAccess,
     /// Parallel conflicting accesses with locks but no common lock.
     InconsistentLockDiscipline,
-    /// Static lock-order cycle (potential deadlock).
+    /// Static lock-order cycle between two locks (potential deadlock).
     LockOrderCycle,
+    /// Static lock-order cycle through three or more locks.
+    LockOrderInversion,
+    /// A statically generated race candidate (`--races` mode).
+    MayRace,
 }
 
 impl LintKind {
@@ -47,6 +57,8 @@ impl LintKind {
             LintKind::UnprotectedSharedAccess => "unprotected-shared-access",
             LintKind::InconsistentLockDiscipline => "inconsistent-lock-discipline",
             LintKind::LockOrderCycle => "lock-order-cycle",
+            LintKind::LockOrderInversion => "lock-order-inversion",
+            LintKind::MayRace => "may-race",
         }
     }
 }
@@ -119,80 +131,83 @@ pub fn lint_named(program: &Program, entry: &str) -> Option<Vec<Diagnostic>> {
     Some(lint_program(program, program.proc_named(entry)?))
 }
 
-/// May the two accesses touch the same memory location?
-fn may_alias(program: &Program, filter: &StaticRaceFilter, a: InstrId, b: InstrId) -> bool {
-    use Instr::*;
-    let locks = filter.locks();
-    let cfg = filter.cfg();
-    let bases_overlap = |obj_a, obj_b| {
-        let set_a = locks.value_set(cfg.owner(a), obj_a);
-        let set_b = locks.value_set(cfg.owner(b), obj_b);
-        set_a.unknown || set_b.unknown || set_a.sites.intersection(&set_b.sites).next().is_some()
-    };
-    match (program.instr(a), program.instr(b)) {
-        (LoadGlobal { global: ga, .. } | StoreGlobal { global: ga, .. },
-         LoadGlobal { global: gb, .. } | StoreGlobal { global: gb, .. }) => ga == gb,
-        (LoadField { obj: oa, field: fa, .. } | StoreField { obj: oa, field: fa, .. },
-         LoadField { obj: ob, field: fb, .. } | StoreField { obj: ob, field: fb, .. }) => {
-            fa == fb && bases_overlap(*oa, *ob)
-        }
-        (LoadElem { arr: oa, .. } | StoreElem { arr: oa, .. },
-         LoadElem { arr: ob, .. } | StoreElem { arr: ob, .. }) => bases_overlap(*oa, *ob),
-        _ => false,
+fn race_message(program: &Program, a: InstrId, b: InstrId) -> String {
+    if a == b {
+        format!(
+            "{} may race with another instance of itself",
+            cil::pretty::describe_instr(program, a)
+        )
+    } else {
+        format!(
+            "{} may race with {}",
+            cil::pretty::describe_instr(program, a),
+            cil::pretty::describe_instr(program, b)
+        )
     }
 }
 
 fn access_lints(program: &Program, filter: &StaticRaceFilter, diagnostics: &mut Vec<Diagnostic>) {
-    let accesses: Vec<InstrId> = program.memory_access_instrs().collect();
-    let cfg = filter.cfg();
     let locks = filter.locks();
-    let escape = filter.escape();
-    for (position, &a) in accesses.iter().enumerate() {
-        for &b in &accesses[position..] {
-            let writes = program.instr(a).is_memory_write() || program.instr(b).is_memory_write();
-            if !writes
-                || !may_alias(program, filter, a, b)
-                || !filter.mhp().may_happen_in_parallel(a, b)
-            {
-                continue;
-            }
-            if escape.confined_access(program, cfg, locks, a)
-                || escape.confined_access(program, cfg, locks, b)
-            {
-                continue;
-            }
-            if filter.commonly_locked(a, b) {
-                continue;
-            }
-            let (held_a, held_b) = (
-                locks.must_lockset(a).map_or(0, BTreeSet::len),
-                locks.must_lockset(b).map_or(0, BTreeSet::len),
-            );
-            let kind = if held_a == 0 && held_b == 0 {
-                LintKind::UnprotectedSharedAccess
-            } else {
-                LintKind::InconsistentLockDiscipline
-            };
-            let message = if a == b {
-                format!(
-                    "{} may race with another instance of itself",
-                    cil::pretty::describe_instr(program, a)
-                )
-            } else {
-                format!(
-                    "{} may race with {}",
-                    cil::pretty::describe_instr(program, a),
-                    cil::pretty::describe_instr(program, b)
-                )
-            };
+    for pair in candidates::generate(program, filter).candidates {
+        let [a, b] = pair.instrs();
+        let (held_a, held_b) = (
+            locks.must_lockset(a).map_or(0, BTreeSet::len),
+            locks.must_lockset(b).map_or(0, BTreeSet::len),
+        );
+        let kind = if held_a == 0 && held_b == 0 {
+            LintKind::UnprotectedSharedAccess
+        } else {
+            LintKind::InconsistentLockDiscipline
+        };
+        diagnostics.push(Diagnostic {
+            kind,
+            instr: a,
+            span: program.span(a),
+            message: race_message(program, a, b),
+        });
+    }
+}
+
+/// Lints for `--races` mode: one [`LintKind::MayRace`] diagnostic per
+/// statically generated race candidate, anchored at the pair's first
+/// statement. Unlike [`lint_program`]'s discipline lints, this is the raw
+/// candidate set the fuzzing phases consume.
+pub fn race_candidate_lints(program: &Program, entry: ProcId) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    for error in cil::validate::validate(program) {
+        diagnostics.push(Diagnostic {
+            kind: LintKind::InvalidIr,
+            instr: error.instr,
+            span: error.span,
+            message: error.message.clone(),
+        });
+    }
+    if diagnostics.is_empty() {
+        let report = candidates::generate_for_entry(program, entry);
+        for pair in report.candidates {
+            let [a, b] = pair.instrs();
             diagnostics.push(Diagnostic {
-                kind,
+                kind: LintKind::MayRace,
                 instr: a,
                 span: program.span(a),
-                message,
+                message: race_message(program, a, b),
             });
         }
     }
+    diagnostics.sort_by_key(|diagnostic| {
+        (
+            diagnostic.span.line,
+            diagnostic.span.col,
+            diagnostic.kind,
+            diagnostic.instr,
+        )
+    });
+    diagnostics
+}
+
+/// Convenience: `--races` lints with a named entry.
+pub fn race_candidates_named(program: &Program, entry: &str) -> Option<Vec<Diagnostic>> {
+    Some(race_candidate_lints(program, program.proc_named(entry)?))
 }
 
 /// One static nested acquisition: while `outer` (an allocate-once site) is
@@ -277,6 +292,102 @@ fn lock_order_lints(
                     cil::pretty::describe_instr(program, second.site)
                 ),
             });
+        }
+    }
+
+    longer_cycle_lints(program, filter, &edges, &mut reported, diagnostics);
+}
+
+/// Simple cycles through **three or more** locks, which the pairwise scan
+/// above cannot see (A→B, B→C, C→A deadlocks with no two-lock inversion).
+/// Canonical enumeration: a cycle is explored only from its smallest lock
+/// node, bounded at [`MAX_CYCLE_LOCKS`] locks.
+fn longer_cycle_lints(
+    program: &Program,
+    filter: &StaticRaceFilter,
+    edges: &[StaticLockEdge],
+    reported: &mut BTreeSet<Vec<InstrId>>,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    const MAX_CYCLE_LOCKS: usize = 6;
+
+    let mut outgoing: std::collections::BTreeMap<InstrId, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    let mut roots: BTreeSet<InstrId> = BTreeSet::new();
+    for (index, edge) in edges.iter().enumerate() {
+        outgoing.entry(edge.outer).or_default().push(index);
+        roots.insert(edge.outer);
+    }
+
+    // The cycle holds only when distinct threads can sit inside its edges
+    // simultaneously and no single gate lock serializes the whole loop.
+    let viable = |path: &[usize]| {
+        for (position, &first) in path.iter().enumerate() {
+            for &second in &path[position + 1..] {
+                if !filter
+                    .mhp()
+                    .may_happen_in_parallel(edges[first].site, edges[second].site)
+                {
+                    return false;
+                }
+            }
+        }
+        let mut gates = edges[path[0]].gates.clone();
+        for &index in &path[1..] {
+            gates = gates.intersection(&edges[index].gates).copied().collect();
+        }
+        gates.is_empty()
+    };
+
+    for &root in &roots {
+        // Iterative DFS over edge paths; every lock on the path stays
+        // strictly above `root` so each cycle is found exactly once.
+        let mut stack: Vec<Vec<usize>> = outgoing
+            .get(&root)
+            .into_iter()
+            .flatten()
+            .map(|&edge| vec![edge])
+            .collect();
+        while let Some(path) = stack.pop() {
+            let current = edges[*path.last().unwrap()].inner;
+            if current == root {
+                if path.len() >= 3 && viable(&path) {
+                    let mut key: Vec<InstrId> = path.iter().map(|&e| edges[e].site).collect();
+                    key.sort();
+                    if reported.insert(key) {
+                        let anchor = edges[path[0]].site;
+                        let chain: Vec<String> = path
+                            .iter()
+                            .map(|&e| cil::pretty::describe_instr(program, edges[e].site))
+                            .collect();
+                        diagnostics.push(Diagnostic {
+                            kind: LintKind::LockOrderInversion,
+                            instr: anchor,
+                            span: program.span(anchor),
+                            message: format!(
+                                "lock-order inversion through {} locks: {}",
+                                path.len(),
+                                chain.join(" -> ")
+                            ),
+                        });
+                    }
+                }
+                continue;
+            }
+            if path.len() >= MAX_CYCLE_LOCKS || current < root {
+                continue;
+            }
+            for &next in outgoing.get(&current).into_iter().flatten() {
+                let target = edges[next].inner;
+                // Keep the cycle simple: revisit a lock only to close at
+                // the root.
+                if target != root && path.iter().any(|&seen| edges[seen].inner == target) {
+                    continue;
+                }
+                let mut extended = path.clone();
+                extended.push(next);
+                stack.push(extended);
+            }
         }
     }
 }
@@ -400,6 +511,88 @@ mod tests {
             kinds(&diagnostics).contains(&LintKind::LockOrderCycle),
             "{diagnostics:?}"
         );
+    }
+
+    #[test]
+    fn three_lock_triangle_is_an_inversion_not_a_pairwise_cycle() {
+        let (_, diagnostics) = lint(
+            r#"
+            class Lock { }
+            global a;
+            global b;
+            global c;
+            proc p1() { sync (a) { sync (b) { nop; } } }
+            proc p2() { sync (b) { sync (c) { nop; } } }
+            proc p3() { sync (c) { sync (a) { nop; } } }
+            proc main() {
+                a = new Lock;
+                b = new Lock;
+                c = new Lock;
+                var t1 = spawn p1();
+                var t2 = spawn p2();
+                var t3 = spawn p3();
+                join t1;
+                join t2;
+                join t3;
+            }
+            "#,
+        );
+        let found = kinds(&diagnostics);
+        assert!(found.contains(&LintKind::LockOrderInversion), "{diagnostics:?}");
+        assert!(!found.contains(&LintKind::LockOrderCycle), "{diagnostics:?}");
+    }
+
+    #[test]
+    fn gate_lock_suppresses_triangle_inversion() {
+        let (_, diagnostics) = lint(
+            r#"
+            class Lock { }
+            global a;
+            global b;
+            global c;
+            global g;
+            proc p1() { sync (g) { sync (a) { sync (b) { nop; } } } }
+            proc p2() { sync (g) { sync (b) { sync (c) { nop; } } } }
+            proc p3() { sync (g) { sync (c) { sync (a) { nop; } } } }
+            proc main() {
+                a = new Lock;
+                b = new Lock;
+                c = new Lock;
+                g = new Lock;
+                var t1 = spawn p1();
+                var t2 = spawn p2();
+                var t3 = spawn p3();
+                join t1;
+                join t2;
+                join t3;
+            }
+            "#,
+        );
+        assert!(
+            !kinds(&diagnostics).contains(&LintKind::LockOrderInversion),
+            "{diagnostics:?}"
+        );
+    }
+
+    #[test]
+    fn races_mode_reports_may_race_candidates() {
+        let program = cil::compile(
+            r#"
+            global x = 0;
+            proc worker() { x = 1; }
+            proc main() {
+                var t = spawn worker();
+                x = 2;
+                join t;
+            }
+            "#,
+        )
+        .unwrap();
+        let entry = program.proc_named("main").unwrap();
+        let diagnostics = race_candidate_lints(&program, entry);
+        assert!(!diagnostics.is_empty());
+        assert!(diagnostics.iter().all(|d| d.kind == LintKind::MayRace));
+        assert!(diagnostics.iter().all(|d| d.span.line > 0));
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! Abstract lock identities and the must-held-lockset dataflow.
 //!
 //! Lock objects are identified by their **allocation site** (`New` /
-//! `NewArray` instructions). A flow-insensitive value-flow fixpoint first
-//! computes, per `(proc, local)` slot and per global cell, which allocation
-//! sites may reach it ([`ValueSet`]); loads through the heap poison a slot
-//! with `unknown`. On top of that, a flow-sensitive **must** analysis
-//! (meet = ∩) tracks which sites are certainly locked at each instruction:
+//! `NewArray` instructions). The [points-to analysis](crate::points_to)
+//! supplies, per `(proc, local)` slot and per global cell, which allocation
+//! sites may reach it ([`ValueSet`]) — including through field and element
+//! loads, which the old ad-hoc value flow poisoned with `unknown`. On top
+//! of that, a flow-sensitive **must** analysis (meet = ∩) tracks which
+//! sites are certainly locked at each instruction:
 //!
 //! - `lock obj` adds the site only when `obj`'s value set is a *known
 //!   singleton* — otherwise we hold "one of several" and may claim nothing;
@@ -26,45 +27,16 @@
 
 use std::collections::BTreeSet;
 
-use cil::flat::{Instr, InstrId, LocalId, ProcId, PureExpr};
+use cil::flat::{GlobalId, Instr, InstrId, LocalId, ProcId};
 use cil::Program;
 
 use crate::callgraph::CallGraph;
 use crate::cfg::{Cfg, EdgeKind};
+use crate::points_to::PointsTo;
 
-/// Which allocation sites may reach a slot.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct ValueSet {
-    /// Possible allocation sites.
-    pub sites: BTreeSet<InstrId>,
-    /// The slot may also hold references the analysis cannot name
-    /// (loaded through the heap, or an entry parameter).
-    pub unknown: bool,
-}
-
-impl ValueSet {
-    /// The single known site, if this set is a known singleton.
-    pub fn singleton(&self) -> Option<InstrId> {
-        if self.unknown || self.sites.len() != 1 {
-            None
-        } else {
-            self.sites.iter().next().copied()
-        }
-    }
-
-    fn absorb(&mut self, other: &ValueSet) -> bool {
-        let before = (self.sites.len(), self.unknown);
-        self.sites.extend(other.sites.iter().copied());
-        self.unknown |= other.unknown;
-        before != (self.sites.len(), self.unknown)
-    }
-
-    fn mark_unknown(&mut self) -> bool {
-        let changed = !self.unknown;
-        self.unknown = true;
-        changed
-    }
-}
+/// Which allocation sites may reach a slot — the points-to domain, re-named
+/// here for the lock clients that predate [`crate::points_to`].
+pub use crate::points_to::PtsSet as ValueSet;
 
 /// What a procedure (transitively) may unlock on its caller's behalf.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -87,9 +59,29 @@ pub struct LockAnalysis {
 }
 
 impl LockAnalysis {
-    /// Runs value flow, may-release, and the must dataflow.
-    pub fn build(program: &Program, cfg: &Cfg, graph: &CallGraph, entry: ProcId) -> LockAnalysis {
-        let (values, global_flow) = value_flow(program, cfg, entry);
+    /// Derives value sets from the points-to solution, then runs
+    /// may-release and the must dataflow.
+    pub fn build(
+        program: &Program,
+        cfg: &Cfg,
+        graph: &CallGraph,
+        pts: &PointsTo,
+        entry: ProcId,
+    ) -> LockAnalysis {
+        let values: Vec<Vec<ValueSet>> = program
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(index, proc)| {
+                let proc_id = ProcId(index as u32);
+                (0..proc.local_count())
+                    .map(|local| pts.local(proc_id, LocalId(local as u32)).clone())
+                    .collect()
+            })
+            .collect();
+        let global_flow: Vec<ValueSet> = (0..program.globals.len())
+            .map(|global| pts.global(GlobalId(global as u32)).clone())
+            .collect();
         let may_release = may_release_sets(program, cfg, &values);
         let must_in = must_locksets(program, cfg, graph, entry, &values, &may_release);
         LockAnalysis {
@@ -106,7 +98,7 @@ impl LockAnalysis {
     }
 
     /// Sites that may be stored in `global`.
-    pub fn global_value_set(&self, global: cil::flat::GlobalId) -> &ValueSet {
+    pub fn global_value_set(&self, global: GlobalId) -> &ValueSet {
         &self.global_flow[global.index()]
     }
 
@@ -130,91 +122,18 @@ impl LockAnalysis {
             _ => None,
         }
     }
-}
 
-fn flow_of_expr(expr: &PureExpr, locals: &[ValueSet]) -> ValueSet {
-    match expr {
-        // Arithmetic never produces references; constants (incl. null)
-        // name no allocation site.
-        PureExpr::Const(_)
-        | PureExpr::Unary { .. }
-        | PureExpr::Binary { .. }
-        | PureExpr::Len(_) => ValueSet::default(),
-        PureExpr::Local(id) => locals[id.index()].clone(),
-    }
-}
-
-fn value_flow(program: &Program, cfg: &Cfg, entry: ProcId) -> (Vec<Vec<ValueSet>>, Vec<ValueSet>) {
-    let mut values: Vec<Vec<ValueSet>> = program
-        .procs
-        .iter()
-        .map(|proc| vec![ValueSet::default(); proc.local_count()])
-        .collect();
-    let mut global_flow = vec![ValueSet::default(); program.globals.len()];
-    let mut return_flow = vec![ValueSet::default(); program.procs.len()];
-
-    // The harness invokes the entry with no arguments in this suite, but an
-    // entry with parameters would receive arbitrary values.
-    for slot in values[entry.index()]
-        .iter_mut()
-        .take(program.procs[entry.index()].param_count)
-    {
-        slot.mark_unknown();
+    /// May the two slots hold a common runtime object?
+    pub fn may_alias(&self, a: (ProcId, LocalId), b: (ProcId, LocalId)) -> bool {
+        self.value_set(a.0, a.1).may_overlap(self.value_set(b.0, b.1))
     }
 
-    loop {
-        let mut changed = false;
-        for (index, instr) in program.instrs.iter().enumerate() {
-            let id = InstrId(index as u32);
-            let proc = cfg.owner(id);
-            match instr {
-                Instr::New { dst, .. } | Instr::NewArray { dst, .. } => {
-                    let slot = &mut values[proc.index()][dst.index()];
-                    changed |= slot.sites.insert(id);
-                }
-                Instr::Assign { dst, expr } => {
-                    let flow = flow_of_expr(expr, &values[proc.index()]);
-                    changed |= values[proc.index()][dst.index()].absorb(&flow);
-                }
-                Instr::LoadGlobal { dst, global } => {
-                    let flow = global_flow[global.index()].clone();
-                    changed |= values[proc.index()][dst.index()].absorb(&flow);
-                }
-                Instr::StoreGlobal { global, src } => {
-                    let flow = flow_of_expr(src, &values[proc.index()]);
-                    changed |= global_flow[global.index()].absorb(&flow);
-                }
-                Instr::LoadField { dst, .. } | Instr::LoadElem { dst, .. } => {
-                    changed |= values[proc.index()][dst.index()].mark_unknown();
-                }
-                Instr::Call { dst, proc: callee, args } => {
-                    for (position, arg) in args.iter().enumerate() {
-                        let flow = flow_of_expr(arg, &values[proc.index()]);
-                        changed |= values[callee.index()][position].absorb(&flow);
-                    }
-                    if let Some(dst) = dst {
-                        let flow = return_flow[callee.index()].clone();
-                        changed |= values[proc.index()][dst.index()].absorb(&flow);
-                    }
-                }
-                Instr::Spawn { proc: callee, args, .. } => {
-                    for (position, arg) in args.iter().enumerate() {
-                        let flow = flow_of_expr(arg, &values[proc.index()]);
-                        changed |= values[callee.index()][position].absorb(&flow);
-                    }
-                    // Thread handles are opaque; the spawn's dst slot gains
-                    // no allocation site.
-                }
-                Instr::Return { value: Some(value) } => {
-                    let flow = flow_of_expr(value, &values[proc.index()]);
-                    changed |= return_flow[proc.index()].absorb(&flow);
-                }
-                _ => {}
-            }
-        }
-        if !changed {
-            return (values, global_flow);
-        }
+    /// The single allocation site both slots certainly name, if their value
+    /// sets are the *same known singleton*. Whether that site allocates at
+    /// most once per run (so "same site" means "same object") is the
+    /// caller's [`ExecCount`](crate::callgraph::ExecCount) question.
+    pub fn must_alias(&self, a: (ProcId, LocalId), b: (ProcId, LocalId)) -> Option<InstrId> {
+        self.value_set(a.0, a.1).must_alias(self.value_set(b.0, b.1))
     }
 }
 
@@ -375,7 +294,8 @@ mod tests {
         let cfg = Cfg::build(&program);
         let entry = program.proc_named("main").unwrap();
         let graph = CallGraph::build(&program, &cfg, entry);
-        let locks = LockAnalysis::build(&program, &cfg, &graph, entry);
+        let pts = PointsTo::build(&program, &cfg, entry);
+        let locks = LockAnalysis::build(&program, &cfg, &graph, &pts, entry);
         (program, cfg, locks)
     }
 
@@ -478,7 +398,7 @@ mod tests {
     }
 
     #[test]
-    fn heap_loaded_lock_is_unknown() {
+    fn heap_loaded_lock_resolves_through_points_to() {
         let (program, cfg, locks) = analyze(
             r#"
             class Box { guard }
@@ -494,9 +414,17 @@ mod tests {
             }
             "#,
         );
-        // The lock came through a field load: no stable identity, no
-        // must-lock claim.
-        assert_eq!(must_at(&program, &locks, "guarded"), 0);
+        // The lock came through a field load, but points-to resolves
+        // `box.guard` to the single Lock allocation: the must-lock claim
+        // survives the heap round-trip.
+        assert_eq!(must_at(&program, &locks, "guarded"), 1);
+        let lock_alloc = program
+            .instrs
+            .iter()
+            .enumerate()
+            .find(|(_, instr)| matches!(instr, Instr::New { class, .. } if class.index() == 1))
+            .map(|(index, _)| InstrId(index as u32))
+            .unwrap();
         let lock_site = program
             .instrs
             .iter()
@@ -504,7 +432,10 @@ mod tests {
             .find(|(_, instr)| matches!(instr, Instr::Lock { .. }))
             .map(|(index, _)| InstrId(index as u32))
             .unwrap();
-        assert_eq!(locks.lock_target(&program, &cfg, lock_site), None);
+        assert_eq!(
+            locks.lock_target(&program, &cfg, lock_site),
+            Some(lock_alloc)
+        );
     }
 
     #[test]

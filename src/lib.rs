@@ -61,8 +61,11 @@ pub mod prelude {
         RunToBlockScheduler, Termination,
     };
     pub use racefuzzer::{
-        analyze, fuzz_pair, fuzz_pair_once, hunt_deadlocks, render_trace, replay,
-        AnalysisReport, AnalyzeOptions, DeadlockOptions, FuzzConfig, ParallelOptions,
+        analyze, fuzz_pair, fuzz_pair_once, gather_candidates, hunt_deadlocks, render_trace,
+        replay, AnalysisReport, AnalyzeOptions, CandidateSource, DeadlockOptions, FuzzConfig,
+        ParallelOptions, Provenance,
     };
-    pub use sana::{FilterStats, PruneReason, StaticRaceFilter};
+    pub use sana::{
+        CandidateStats, FilterStats, PruneReason, StaticCandidateReport, StaticRaceFilter,
+    };
 }

@@ -165,6 +165,48 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The static candidate generator is a sound over-approximation under
+    /// every candidate source: whatever Phase 2 actually races (the
+    /// `real_pairs`, which may include same-statement pairs) is in the
+    /// generated set, no matter which source proposed the fuzzed pairs.
+    #[test]
+    fn confirmed_races_are_always_statically_generated(source in arb_program(2)) {
+        let program = cil::compile(&source).expect("generated source compiles");
+        let filter = StaticRaceFilter::for_entry(&program, "main").expect("main exists");
+        let generated = sana::candidates::generate(&program, &filter);
+        for candidate_source in [
+            CandidateSource::DynamicPhase1,
+            CandidateSource::Static,
+            CandidateSource::Union,
+        ] {
+            let report = analyze(
+                &program,
+                "main",
+                &AnalyzeOptions {
+                    source: candidate_source,
+                    ..options(false)
+                },
+            )
+            .expect("analysis runs");
+            prop_assert_eq!(report.provenance.len(), report.potential.len());
+            for pair_report in &report.pairs {
+                for raced in &pair_report.real_pairs {
+                    prop_assert!(
+                        generated.contains(raced),
+                        "{:?}: raced pair {:?} missing from the static candidate set\n{}",
+                        candidate_source,
+                        raced,
+                        source
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The same soundness bar on the real benchmark models: no race a short
 /// fuzzing campaign confirms on any Table-1 workload is statically refuted.
 #[test]
@@ -198,6 +240,19 @@ fn no_workload_race_is_statically_refuted() {
                 workload.name,
                 pair.describe(&workload.program)
             );
+        }
+        // And the generator covers them: every pair that actually raced is
+        // in the static candidate set (100% recall, the static_gen bar).
+        let generated = sana::candidates::generate(&workload.program, &filter);
+        for pair_report in &report.pairs {
+            for raced in &pair_report.real_pairs {
+                assert!(
+                    generated.contains(raced),
+                    "{}: raced pair {} missing from the static candidate set",
+                    workload.name,
+                    raced.describe(&workload.program)
+                );
+            }
         }
     }
 }
