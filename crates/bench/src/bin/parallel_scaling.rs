@@ -19,8 +19,10 @@
 
 use campaign::json::Json;
 use detector::RacePair;
-use racefuzzer::{fuzz_pair_once, FuzzConfig};
-use rf_bench::TextTable;
+use racefuzzer::{
+    fuzz_pair_once_cached, EntryCache, FuzzConfig, PairCache, SnapshotOptions,
+};
+use rf_bench::{peak_rss_kib, TextTable};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
@@ -34,6 +36,9 @@ const SOURCE: &str = r#"
         sync (l) { nop; }
     }
     proc main() {
+        var warm = 0;
+        var i = 0;
+        while (i < 40) { warm = warm + i; i = i + 1; }
         l = new Lock;
         var t = spawn thread2();
         sync (l) {
@@ -94,12 +99,18 @@ fn seed_ranges(trials: u64, workers: u64) -> Vec<std::ops::Range<u64>> {
     ranges
 }
 
-fn run_trials(program: &cil::Program, pair: RacePair, seeds: std::ops::Range<u64>) -> (u64, u64) {
+fn run_trials(
+    program: &cil::Program,
+    pair: RacePair,
+    seeds: std::ops::Range<u64>,
+    cache: &PairCache,
+) -> (u64, u64) {
     let mut hits = 0;
     let mut errors = 0;
     for seed in seeds {
-        let outcome = fuzz_pair_once(program, "main", pair, &FuzzConfig::seeded(seed))
-            .expect("fuzz runs");
+        let outcome =
+            fuzz_pair_once_cached(program, "main", pair, &FuzzConfig::seeded(seed), Some(cache))
+                .expect("fuzz runs");
         hits += u64::from(outcome.race_created());
         errors += u64::from(!outcome.uncaught.is_empty());
     }
@@ -112,6 +123,8 @@ struct Measurement {
     trials_per_sec: u64,
     speedup: f64,
     race_probability: f64,
+    snapshot_hit_rate: f64,
+    peak_rss_kib: Option<u64>,
 }
 
 impl Measurement {
@@ -124,6 +137,17 @@ impl Measurement {
             (
                 "race_probability",
                 Json::Str(format!("{:.3}", self.race_probability)),
+            ),
+            (
+                "snapshot_hit_rate",
+                Json::Str(format!("{:.3}", self.snapshot_hit_rate)),
+            ),
+            (
+                "peak_rss_kib",
+                match self.peak_rss_kib {
+                    Some(kib) => Json::u64(kib),
+                    None => Json::Null,
+                },
             ),
         ])
     }
@@ -141,17 +165,24 @@ fn main() -> ExitCode {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let mut table = TextTable::new(["workers", "wall time", "trials/s", "speedup", "P(race)"]);
+    let mut table = TextTable::new([
+        "workers", "wall time", "trials/s", "speedup", "P(race)", "snap hits", "peak RSS",
+    ]);
     let mut measurements: Vec<Measurement> = Vec::new();
     let mut baseline = None;
 
     for workers in [1usize, 2, 4, 8] {
+        // One snapshot cache per worker count, shared read-side by every
+        // worker of the row — the same sharing the parallel analyze pool
+        // uses — so the hit-rate column reflects cross-thread reuse.
+        let cache = PairCache::new(EntryCache::new(SnapshotOptions::default()));
         let start = Instant::now();
         let handles: Vec<_> = seed_ranges(trials, workers as u64)
             .into_iter()
             .map(|seeds| {
                 let program = Arc::clone(&program);
-                std::thread::spawn(move || run_trials(&program, pair, seeds))
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || run_trials(&program, pair, seeds, &cache))
             })
             .collect();
         let (hits, _errors) = handles
@@ -168,6 +199,8 @@ fn main() -> ExitCode {
             trials_per_sec: (trials as f64 / elapsed) as u64,
             speedup: baseline_time / elapsed,
             race_probability: hits as f64 / trials as f64,
+            snapshot_hit_rate: cache.stats().hit_rate(),
+            peak_rss_kib: peak_rss_kib(),
         };
         table.row([
             workers.to_string(),
@@ -175,6 +208,11 @@ fn main() -> ExitCode {
             measurement.trials_per_sec.to_string(),
             format!("{:.2}x", measurement.speedup),
             format!("{:.3}", measurement.race_probability),
+            format!("{:.3}", measurement.snapshot_hit_rate),
+            measurement
+                .peak_rss_kib
+                .map(|kib| format!("{kib} KiB"))
+                .unwrap_or_else(|| "-".to_owned()),
         ]);
         measurements.push(measurement);
     }

@@ -12,7 +12,55 @@
 //! uninstrumented execution, hybrid tracing, and the RaceFuzzer scheduler
 //! (the paper's runtime columns 3–5).
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// A [`System`]-backed global allocator that counts heap allocations.
+///
+/// Install in a harness binary with
+/// `#[global_allocator] static A: rf_bench::CountingAlloc = rf_bench::CountingAlloc;`
+/// and read deltas of [`CountingAlloc::allocations`] around the measured
+/// region. The counter is a single relaxed atomic increment per
+/// allocation — negligible next to the allocation itself — and exists so
+/// benches can prove that scratch/snapshot reuse actually removes
+/// allocator traffic rather than merely shifting wall-clock noise.
+pub struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+impl CountingAlloc {
+    /// Total allocations since process start.
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+}
+
+// SAFETY: delegates every operation to `System`; the counter has no effect
+// on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// The process's peak resident set size in KiB (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable.
+pub fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|line| line.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
 
 /// Milliseconds with two decimals, for table cells.
 pub fn fmt_ms(duration: Duration) -> String {

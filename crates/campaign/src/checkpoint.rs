@@ -167,7 +167,7 @@ fn report_to_json(report: &PairReport) -> Json {
                 report
                     .exceptions
                     .iter()
-                    .map(|(name, count)| (name.clone(), Json::usize(*count)))
+                    .map(|(name, count)| (name.to_string(), Json::usize(*count)))
                     .collect(),
             ),
         ),
@@ -198,13 +198,16 @@ fn report_from_json(value: &Json) -> Result<PairReport, ArtifactError> {
         .iter()
         .map(pair_from_json)
         .collect::<Result<_, _>>()?;
-    let exceptions: BTreeMap<String, usize> = match field("exceptions")? {
+    // Keys re-enter the shared-`Arc<str>` representation the reports use
+    // in memory; a resumed report therefore merges with live reports
+    // without any key-type conversion.
+    let exceptions: BTreeMap<std::sync::Arc<str>, usize> = match field("exceptions")? {
         Json::Obj(fields) => fields
             .iter()
             .map(|(name, count)| {
                 count
                     .as_usize()
-                    .map(|count| (name.clone(), count))
+                    .map(|count| (std::sync::Arc::from(name.as_str()), count))
                     .ok_or_else(|| ArtifactError::Malformed("bad exception count".into()))
             })
             .collect::<Result<_, _>>()?,
@@ -481,7 +484,7 @@ mod tests {
         report.hits = 3;
         report.real_pairs.insert(pair);
         report.exception_trials = 1;
-        report.exceptions.insert("Error1".to_owned(), 1);
+        report.exceptions.insert(std::sync::Arc::from("Error1"), 1);
         report.first_hit_seed = Some(4);
         report.first_exception_seed = Some(6);
         JobOutcome {

@@ -77,8 +77,9 @@ use crate::json::Json;
 use detector::{DetectorImpl, PredictConfig, RacePair};
 use interp::SetupError;
 use racefuzzer::{
-    fuzz_pair_once, CandidateSource, FuzzConfig, FuzzOutcome, PairReport, ParallelOptions,
-    Provenance,
+    fuzz_pair_once, fuzz_pair_once_cached, CandidateSource, EntryCache, FuzzConfig, FuzzOutcome,
+    PairCache, PairReport, ParallelOptions, Provenance, SnapshotMode, SnapshotOptions,
+    SnapshotStats,
 };
 use sana::{PruneReason, StaticRaceFilter};
 use std::collections::BTreeMap;
@@ -87,6 +88,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One unit of campaign work: a compiled program plus its entry procedure.
@@ -173,6 +175,15 @@ pub struct CampaignOptions {
     /// quarantined with [`QuarantineReason::CrashLoop`] before any trial
     /// runs. `None` disables the check.
     pub crash_ledger_path: Option<PathBuf>,
+    /// Snapshot acceleration for the Phase-2 trials (default: the prefix
+    /// trie, racefuzzer's default). Campaigns create one shared
+    /// [`EntryCache`] per job and one [`PairCache`] per pair, so the
+    /// entry prologue is interpreted once per job and retried trials
+    /// fast-forward through their already-executed prefix. The retry
+    /// backoff loop is safe to mix with caching: snapshots are taken at
+    /// scheduler loop-tops, where the *current* config's step budget
+    /// governs all later steps.
+    pub snapshots: SnapshotOptions,
     /// How long the parallel commit thread waits for an in-flight pair
     /// before checking whether the worker that claimed it has died. This is
     /// a *liveness probe interval*, not a per-pair deadline: as long as the
@@ -198,6 +209,7 @@ impl Default for CampaignOptions {
             source: CandidateSource::default(),
             parallel: ParallelOptions::default(),
             crash_ledger_path: None,
+            snapshots: SnapshotOptions::default(),
             worker_stall: Duration::from_secs(30),
         }
     }
@@ -393,6 +405,20 @@ impl CampaignReport {
         self.jobs.iter().map(|job| job.quarantined.len()).sum()
     }
 
+    /// Aggregate snapshot-cache statistics over every completed pair, or
+    /// `None` if no pair carried them (acceleration off, or a checkpoint
+    /// written by a pre-snapshot campaign). Advisory only — excluded from
+    /// [`CampaignReport::canonical_json`].
+    pub fn snapshot_stats(&self) -> Option<SnapshotStats> {
+        let mut total: Option<SnapshotStats> = None;
+        for report in self.jobs.iter().flat_map(|job| &job.reports) {
+            if let Some(stats) = &report.snapshots {
+                total.get_or_insert_with(SnapshotStats::default).merge(stats);
+            }
+        }
+        total
+    }
+
     /// The report's canonical byte form: everything the campaign *found*,
     /// excluding how it got there (`resumed`, recovery events). A run
     /// killed and resumed a hundred times produces the same canonical
@@ -434,6 +460,28 @@ pub trait TrialRunner {
         pair: RacePair,
         config: &FuzzConfig,
     ) -> Result<FuzzOutcome, SetupError>;
+
+    /// [`TrialRunner::run_trial`] with an optional snapshot cache. The
+    /// default ignores the cache, so fault-injection runners (and any
+    /// external runner that is not the real scheduler) stay correct
+    /// without changes; only engines that can honour the byte-identity
+    /// contract should override this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetupError`] if `entry` does not name a zero-argument
+    /// procedure.
+    fn run_trial_cached(
+        &self,
+        program: &cil::Program,
+        entry: &str,
+        pair: RacePair,
+        config: &FuzzConfig,
+        cache: Option<&PairCache>,
+    ) -> Result<FuzzOutcome, SetupError> {
+        let _ = cache;
+        self.run_trial(program, entry, pair, config)
+    }
 }
 
 /// The production trial runner: [`racefuzzer::fuzz_pair_once`].
@@ -449,6 +497,17 @@ impl TrialRunner for FuzzRunner {
         config: &FuzzConfig,
     ) -> Result<FuzzOutcome, SetupError> {
         fuzz_pair_once(program, entry, pair, config)
+    }
+
+    fn run_trial_cached(
+        &self,
+        program: &cil::Program,
+        entry: &str,
+        pair: RacePair,
+        config: &FuzzConfig,
+        cache: Option<&PairCache>,
+    ) -> Result<FuzzOutcome, SetupError> {
+        fuzz_pair_once_cached(program, entry, pair, config, cache)
     }
 }
 
@@ -644,6 +703,16 @@ impl Campaign {
         }
     }
 
+    /// The per-job snapshot entry cache, or `None` when acceleration is
+    /// off (or when the trial template records schedules / carries a
+    /// wall-clock deadline, in which case racefuzzer bypasses the cache
+    /// per trial anyway — the cache is still created so statistics record
+    /// the bypass).
+    fn entry_cache(&self) -> Option<Arc<EntryCache>> {
+        (self.options.snapshots.mode != SnapshotMode::Off)
+            .then(|| EntryCache::new(self.options.snapshots))
+    }
+
     /// The pre-existing sequential pair loop: fuzz, commit, checkpoint,
     /// advance — one pair at a time on the calling thread.
     fn run_pairs_sequential(
@@ -656,6 +725,7 @@ impl Campaign {
         pairs_this_run: &mut usize,
     ) -> Result<PairsProgress, ArtifactError> {
         let job = &self.jobs[index];
+        let entry_cache = self.entry_cache();
         while jobs[index].next_pair < jobs[index].potential.len() {
             let target = jobs[index].potential[jobs[index].next_pair];
             if let Some(crashes) = ledger.lookup(&jobs[index].name, jobs[index].next_pair) {
@@ -670,7 +740,14 @@ impl Campaign {
                     continue;
                 }
             }
-            let run = run_pair(runner, &job.program, &job.entry, target, &self.options);
+            let run = run_pair(
+                runner,
+                &job.program,
+                &job.entry,
+                target,
+                &self.options,
+                entry_cache.as_ref(),
+            );
             let fatal = self.commit_pair(job, &mut jobs[index], run)?;
             self.audit_pair(job, &mut jobs[index], filter, target);
             if let Some(message) = fatal {
@@ -736,6 +813,9 @@ impl Campaign {
 
         let cursor = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
+        // Shared read-side across workers: the entry prologue is computed
+        // by whichever worker gets there first and reused by all.
+        let entry_cache = self.entry_cache();
         let (sender, receiver) = mpsc::channel::<(usize, PairRun)>();
         let worker_count = self.options.parallel.workers.max(1).min(work.len().max(1));
         // Worker-loss bookkeeping: which worker claimed each offset
@@ -751,6 +831,7 @@ impl Campaign {
                 let sender = sender.clone();
                 let (cursor, stop, work, targets) = (&cursor, &stop, &work, &targets);
                 let (claimed, alive) = (&claimed, &alive);
+                let entry_cache = &entry_cache;
                 scope.spawn(move || {
                     // Flips the liveness flag on *any* exit path, panics
                     // included, so the commit thread can tell a slow trial
@@ -769,7 +850,14 @@ impl Campaign {
                             return; // injected worker death: deliver nothing
                         }
                         let run = catch_unwind(AssertUnwindSafe(|| {
-                            run_pair(runner, &job.program, &job.entry, targets[offset], &self.options)
+                            run_pair(
+                                runner,
+                                &job.program,
+                                &job.entry,
+                                targets[offset],
+                                &self.options,
+                                entry_cache.as_ref(),
+                            )
                         }));
                         let Ok(run) = run else {
                             return; // worker-level panic: die without delivering
@@ -1186,7 +1274,9 @@ pub fn reproduce_on(
         });
     }
     let config = artifact.fuzz_config();
-    match guarded_trial(runner, program, entry, artifact.pair, &config) {
+    // Replays run uncached: a reproduction is a single trial, so there is
+    // no prefix to share and nothing to amortise.
+    match guarded_trial(runner, program, entry, artifact.pair, &config, None) {
         Guarded::Completed(outcome) => Ok(Reproduction {
             kind: None,
             outcome: Some(outcome),
@@ -1211,7 +1301,14 @@ fn run_pair(
     entry: &str,
     target: RacePair,
     options: &CampaignOptions,
+    entry_cache: Option<&Arc<EntryCache>>,
 ) -> PairRun {
+    // One decision trie per pair, sharing the job-wide entry prologue.
+    // Retries with grown step budgets share it too — snapshots live at
+    // scheduler loop-tops, where the budget check always consults the
+    // *current* config, so a trial resumed under a larger budget behaves
+    // exactly as if it had re-executed its prefix.
+    let cache = entry_cache.map(|shared| PairCache::new(Arc::clone(shared)));
     let mut run = PairRun {
         report: PairReport::empty(target),
         failures: Vec::new(),
@@ -1228,7 +1325,7 @@ fn run_pair(
                 max_steps: budget,
                 ..options.fuzz.clone()
             };
-            match guarded_trial(runner, program, entry, target, &config) {
+            match guarded_trial(runner, program, entry, target, &config, cache.as_deref()) {
                 Guarded::Completed(outcome) => {
                     run.report.absorb(seed, &outcome, program);
                     break;
@@ -1262,6 +1359,11 @@ fn run_pair(
             }
         }
     }
+    // Advisory statistics: excluded from `PairReport`'s `Debug` identity
+    // and from the canonical checkpoint bytes.
+    if let Some(cache) = &cache {
+        run.report.snapshots = Some(cache.stats());
+    }
     run
 }
 
@@ -1271,9 +1373,10 @@ fn guarded_trial(
     entry: &str,
     pair: RacePair,
     config: &FuzzConfig,
+    cache: Option<&PairCache>,
 ) -> Guarded {
     let result = catch_unwind(AssertUnwindSafe(|| {
-        runner.run_trial(program, entry, pair, config)
+        runner.run_trial_cached(program, entry, pair, config, cache)
     }));
     match result {
         Err(payload) => Guarded::Failed(FailureKind::Panic(panic_message(payload.as_ref())), None),

@@ -628,4 +628,10 @@ impl Program {
     pub fn name(&self, symbol: Symbol) -> &str {
         self.interner.resolve(symbol)
     }
+
+    /// Resolves a symbol to its interned `Arc<str>` (a refcount bump, no
+    /// text copy) — for accounting maps keyed by name on hot paths.
+    pub fn name_shared(&self, symbol: Symbol) -> std::sync::Arc<str> {
+        self.interner.resolve_shared(symbol)
+    }
 }

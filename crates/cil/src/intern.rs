@@ -84,6 +84,17 @@ impl Interner {
         &self.names[symbol.index()]
     }
 
+    /// Returns the shared `Arc<str>` for `symbol` — a refcount bump, not a
+    /// string copy, so hot paths can key maps by name without cloning the
+    /// text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` did not come from this interner.
+    pub fn resolve_shared(&self, symbol: Symbol) -> Arc<str> {
+        Arc::clone(&self.names[symbol.index()])
+    }
+
     /// Number of distinct interned strings.
     pub fn len(&self) -> usize {
         self.names.len()

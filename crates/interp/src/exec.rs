@@ -122,12 +122,90 @@ struct Thrown {
 }
 
 
+/// A copy-on-write fork point of an [`Execution`].
+///
+/// Capturing one is cheap: the heap is `Arc`-paged, each thread sits behind
+/// an `Arc`, and `Value`s are structurally shared, so a snapshot costs
+/// O(pages + threads) refcount bumps and later writes by the live execution
+/// copy only the state they touch. A `Snapshot` carries no borrow of the
+/// program, so it is `Send + Sync` and can be shared read-side across the
+/// work-stealing trial pool.
+#[derive(Clone)]
+pub struct Snapshot {
+    heap: Heap,
+    globals: Vec<Value>,
+    threads: Vec<Arc<ThreadState>>,
+    locks: LockTable,
+    msg_counter: MsgId,
+    termination_msg: HashMap<ThreadId, MsgId>,
+    steps: u64,
+    output: Vec<String>,
+    uncaught: Vec<UncaughtException>,
+    poisoned: Option<ExecError>,
+    heap_budget: Option<u64>,
+}
+
+impl Snapshot {
+    /// Statements the captured state had executed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Deterministic approximation of the snapshot's logical footprint in
+    /// bytes, ignoring structural sharing — the quantity snapshot-memory
+    /// budgets meter. It depends only on program state, never on addresses
+    /// or sharing, so eviction decisions driven by it replay exactly.
+    pub fn approx_bytes(&self) -> u64 {
+        let value = std::mem::size_of::<Value>() as u64;
+        let mut bytes = 256 + self.heap.approx_bytes() + self.globals.len() as u64 * value;
+        for thread in &self.threads {
+            bytes += 128;
+            for frame in &thread.frames {
+                bytes += 64 + frame.locals.len() as u64 * value;
+            }
+        }
+        bytes += self
+            .output
+            .iter()
+            .map(|line| line.len() as u64 + 24)
+            .sum::<u64>();
+        bytes += (self.termination_msg.len() + self.uncaught.len()) as u64 * 32;
+        bytes
+    }
+}
+
+impl fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("steps", &self.steps)
+            .field("threads", &self.threads.len())
+            .field("heap_cells", &self.heap.len())
+            .finish()
+    }
+}
+
+/// Resolves `entry` to `(proc, entry pc, local slot count)` for
+/// [`Execution::new`] and [`Execution::reset`].
+fn resolve_entry(program: &Program, entry: &str) -> Result<(ProcId, InstrId, usize), SetupError> {
+    let proc = program
+        .proc_named(entry)
+        .ok_or_else(|| SetupError::NoSuchProc(entry.to_owned()))?;
+    let info = &program.procs[proc.index()];
+    if info.param_count != 0 {
+        return Err(SetupError::EntryHasParams(
+            entry.to_owned(),
+            info.param_count,
+        ));
+    }
+    Ok((proc, info.entry, info.local_count()))
+}
+
 /// A running (or finished) program state.
 pub struct Execution<'p> {
     program: &'p Program,
     heap: Heap,
     globals: Vec<Value>,
-    threads: Vec<ThreadState>,
+    threads: Vec<Arc<ThreadState>>,
     locks: LockTable,
     msg_counter: MsgId,
     termination_msg: HashMap<ThreadId, MsgId>,
@@ -150,32 +228,18 @@ impl<'p> Execution<'p> {
     ///
     /// Returns [`SetupError`] if `entry` is missing or takes parameters.
     pub fn new(program: &'p Program, entry: &str) -> Result<Self, SetupError> {
-        let proc = program
-            .proc_named(entry)
-            .ok_or_else(|| SetupError::NoSuchProc(entry.to_owned()))?;
-        let info = &program.procs[proc.index()];
-        if info.param_count != 0 {
-            return Err(SetupError::EntryHasParams(
-                entry.to_owned(),
-                info.param_count,
-            ));
-        }
+        let (proc, entry_pc, local_count) = resolve_entry(program, entry)?;
         let globals = program
             .globals
             .iter()
             .map(|global| Value::from(&global.init))
             .collect();
-        let main = ThreadState::new(
-            ThreadId(0),
-            proc,
-            info.entry,
-            vec![Value::Null; info.local_count()],
-        );
+        let main = ThreadState::new(ThreadId(0), proc, entry_pc, vec![Value::Null; local_count]);
         Ok(Execution {
             program,
             heap: Heap::new(),
             globals,
-            threads: vec![main],
+            threads: vec![Arc::new(main)],
             locks: LockTable::new(),
             msg_counter: 0,
             termination_msg: HashMap::new(),
@@ -185,6 +249,107 @@ impl<'p> Execution<'p> {
             poisoned: None,
             heap_budget: None,
         })
+    }
+
+    /// Captures the current state as a copy-on-write [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            heap: self.heap.clone(),
+            globals: self.globals.clone(),
+            threads: self.threads.clone(),
+            locks: self.locks.clone(),
+            msg_counter: self.msg_counter,
+            termination_msg: self.termination_msg.clone(),
+            steps: self.steps,
+            output: self.output.clone(),
+            uncaught: self.uncaught.clone(),
+            poisoned: self.poisoned.clone(),
+            heap_budget: self.heap_budget,
+        }
+    }
+
+    /// Builds an execution that continues from `snapshot`.
+    ///
+    /// `program` must be the program the snapshot was captured from;
+    /// snapshots deliberately carry no program reference so they can cross
+    /// threads and outlive the borrow they were taken under.
+    pub fn resume(program: &'p Program, snapshot: &Snapshot) -> Execution<'p> {
+        Execution {
+            program,
+            heap: snapshot.heap.clone(),
+            globals: snapshot.globals.clone(),
+            threads: snapshot.threads.clone(),
+            locks: snapshot.locks.clone(),
+            msg_counter: snapshot.msg_counter,
+            termination_msg: snapshot.termination_msg.clone(),
+            steps: snapshot.steps,
+            output: snapshot.output.clone(),
+            uncaught: snapshot.uncaught.clone(),
+            poisoned: snapshot.poisoned.clone(),
+            heap_budget: snapshot.heap_budget,
+        }
+    }
+
+    /// [`Execution::resume`] in place: overwrites `self` with `snapshot`,
+    /// reusing existing allocations (`clone_from` keeps `Vec`/map
+    /// capacity) — the hot path when one scratch execution serves a whole
+    /// trial loop.
+    pub fn restore(&mut self, snapshot: &Snapshot) {
+        self.heap.clone_from(&snapshot.heap);
+        self.globals.clone_from(&snapshot.globals);
+        self.threads.clone_from(&snapshot.threads);
+        self.locks.clone_from(&snapshot.locks);
+        self.msg_counter = snapshot.msg_counter;
+        self.termination_msg.clone_from(&snapshot.termination_msg);
+        self.steps = snapshot.steps;
+        self.output.clone_from(&snapshot.output);
+        self.uncaught.clone_from(&snapshot.uncaught);
+        self.poisoned.clone_from(&snapshot.poisoned);
+        self.heap_budget = snapshot.heap_budget;
+    }
+
+    /// Reinitialises to the state [`Execution::new`] would produce, reusing
+    /// this execution's buffers — the non-snapshot fallback's trial-scratch
+    /// path, which avoids fresh `Vec`/map allocations per trial.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetupError`] if `entry` is missing or takes parameters.
+    pub fn reset(&mut self, entry: &str) -> Result<(), SetupError> {
+        let (proc, entry_pc, local_count) = resolve_entry(self.program, entry)?;
+        self.heap.clear();
+        self.globals.clear();
+        self.globals.extend(
+            self.program
+                .globals
+                .iter()
+                .map(|global| Value::from(&global.init)),
+        );
+        self.threads.truncate(1);
+        match self.threads.first_mut() {
+            Some(main) => Arc::make_mut(main).reset(ThreadId(0), proc, entry_pc, local_count),
+            None => self.threads.push(Arc::new(ThreadState::new(
+                ThreadId(0),
+                proc,
+                entry_pc,
+                vec![Value::Null; local_count],
+            ))),
+        }
+        self.locks.clear();
+        self.msg_counter = 0;
+        self.termination_msg.clear();
+        self.steps = 0;
+        self.output.clear();
+        self.uncaught.clear();
+        self.poisoned = None;
+        self.heap_budget = None;
+        Ok(())
+    }
+
+    /// Mutable access to one thread's state, copying it first if a
+    /// snapshot still shares it (cloned-on-first-write frames).
+    fn thread_mut(&mut self, thread: ThreadId) -> &mut ThreadState {
+        Arc::make_mut(&mut self.threads[thread.index()])
     }
 
     /// The invariant violation that poisoned this machine, if any.
@@ -454,7 +619,7 @@ impl<'p> Execution<'p> {
         {
             let pc = self.threads[thread.index()].frame().pc;
             self.locks.acquire(obj, thread);
-            self.threads[thread.index()].push_hold(obj, depth);
+            self.thread_mut(thread).push_hold(obj, depth);
             observer.on_event(&Event::Acquire {
                 thread,
                 obj,
@@ -463,9 +628,9 @@ impl<'p> Execution<'p> {
             if let Some(msg) = recv_msg {
                 observer.on_event(&Event::Recv { msg, thread });
             }
-            self.threads[thread.index()].status = Status::Runnable;
+            self.thread_mut(thread).status = Status::Runnable;
             if interrupted || self.threads[thread.index()].interrupted {
-                self.threads[thread.index()].interrupted = false;
+                self.thread_mut(thread).interrupted = false;
                 let thrown = Thrown {
                     name: self.program.builtins.interrupted,
                     message: None,
@@ -473,7 +638,7 @@ impl<'p> Execution<'p> {
                 };
                 return self.unwind(thread, thrown, observer);
             }
-            self.threads[thread.index()].frame_mut().pc = InstrId(pc.0 + 1);
+            self.thread_mut(thread).frame_mut().pc = InstrId(pc.0 + 1);
             return StepResult::Ran;
         }
 
@@ -513,11 +678,11 @@ impl<'p> Execution<'p> {
     }
 
     fn set_local(&mut self, thread: ThreadId, slot: LocalId, value: Value) {
-        self.threads[thread.index()].frame_mut().locals[slot.index()] = value;
+        self.thread_mut(thread).frame_mut().locals[slot.index()] = value;
     }
 
     fn advance(&mut self, thread: ThreadId) {
-        let frame = self.threads[thread.index()].frame_mut();
+        let frame = self.thread_mut(thread).frame_mut();
         frame.pc = InstrId(frame.pc.0 + 1);
     }
 
@@ -786,7 +951,7 @@ impl<'p> Execution<'p> {
             &Instr::Lock { obj, monitor } => {
                 let target = self.as_ref(self.local_ref(thread, obj), "lock target", pc)?;
                 debug_assert!(self.locks.available_to(target, thread));
-                let outermost = self.threads[thread.index()].push_hold(target, 1);
+                let outermost = self.thread_mut(thread).push_hold(target, 1);
                 if outermost {
                     self.locks.acquire(target, thread);
                     observer.on_event(&Event::Acquire {
@@ -796,7 +961,7 @@ impl<'p> Execution<'p> {
                     });
                 }
                 if monitor {
-                    self.threads[thread.index()]
+                    self.thread_mut(thread)
                         .frame_mut()
                         .protections
                         .push(Protection::Monitor { obj: target });
@@ -814,8 +979,7 @@ impl<'p> Execution<'p> {
                 }
                 if monitor {
                     // Pop the matching structured-monitor protection entry.
-                    let protections =
-                        &mut self.threads[thread.index()].frame_mut().protections;
+                    let protections = &mut self.thread_mut(thread).frame_mut().protections;
                     if let Some(index) = protections.iter().rposition(
                         |entry| matches!(entry, Protection::Monitor { obj } if *obj == target),
                     ) {
@@ -838,7 +1002,7 @@ impl<'p> Execution<'p> {
                 if self.threads[thread.index()].interrupted {
                     // Java: wait() checks the interrupt flag on entry and
                     // throws while still holding the monitor.
-                    self.threads[thread.index()].interrupted = false;
+                    self.thread_mut(thread).interrupted = false;
                     return Err(Thrown {
                         name: builtins.interrupted,
                         message: None,
@@ -846,7 +1010,7 @@ impl<'p> Execution<'p> {
                     });
                 }
                 // Release all re-entries, remember the depth, and block.
-                let fully = self.threads[thread.index()].pop_hold(target, depth);
+                let fully = self.thread_mut(thread).pop_hold(target, depth);
                 debug_assert!(fully);
                 self.locks.release(target, thread);
                 observer.on_event(&Event::Release {
@@ -855,7 +1019,7 @@ impl<'p> Execution<'p> {
                     instr: pc,
                 });
                 self.locks.add_waiter(target, thread);
-                self.threads[thread.index()].status = Status::Waiting { obj: target, depth };
+                self.thread_mut(thread).status = Status::Waiting { obj: target, depth };
                 // pc stays at the wait; it advances when the wait completes.
             }
             &Instr::Notify { obj } => {
@@ -920,7 +1084,7 @@ impl<'p> Execution<'p> {
                     }
                 };
                 if self.threads[thread.index()].interrupted {
-                    self.threads[thread.index()].interrupted = false;
+                    self.thread_mut(thread).interrupted = false;
                     return Err(Thrown {
                         name: builtins.interrupted,
                         message: None,
@@ -961,7 +1125,7 @@ impl<'p> Execution<'p> {
                     }
                 }
                 if self.threads[thread.index()].interrupted {
-                    self.threads[thread.index()].interrupted = false;
+                    self.thread_mut(thread).interrupted = false;
                     return Err(Thrown {
                         name: builtins.interrupted,
                         message: None,
@@ -981,7 +1145,7 @@ impl<'p> Execution<'p> {
                 locals[..filled].swap_with_slice(&mut values);
                 // Return resumes *after* the call.
                 self.advance(thread);
-                self.threads[thread.index()].frames.push(Frame {
+                self.thread_mut(thread).frames.push(Frame {
                     proc: *proc,
                     pc: info.entry,
                     locals,
@@ -996,13 +1160,13 @@ impl<'p> Execution<'p> {
                 };
                 // Release structured monitors opened in this frame.
                 while let Some(protection) =
-                    self.threads[thread.index()].frame_mut().protections.pop()
+                    self.thread_mut(thread).frame_mut().protections.pop()
                 {
                     if let Protection::Monitor { obj } = protection {
                         self.release_one(thread, obj, pc, observer);
                     }
                 }
-                let Some(finished) = self.threads[thread.index()].frames.pop() else {
+                let Some(finished) = self.thread_mut(thread).frames.pop() else {
                     self.poisoned = Some(ExecError::FrameUnderflow { thread });
                     return Ok(false);
                 };
@@ -1015,7 +1179,7 @@ impl<'p> Execution<'p> {
                 }
             }
             &Instr::Jump { target } => {
-                self.threads[thread.index()].frame_mut().pc = target;
+                self.thread_mut(thread).frame_mut().pc = target;
             }
             Instr::Branch {
                 cond,
@@ -1024,7 +1188,7 @@ impl<'p> Execution<'p> {
             } => {
                 let value = self.eval(thread, cond, pc)?;
                 let taken = self.as_bool(value, pc)?;
-                self.threads[thread.index()].frame_mut().pc =
+                self.thread_mut(thread).frame_mut().pc =
                     if taken { *if_true } else { *if_false };
             }
             Instr::Assert { cond, message } => {
@@ -1046,7 +1210,7 @@ impl<'p> Execution<'p> {
                 });
             }
             Instr::EnterTry { handler, catches } => {
-                self.threads[thread.index()]
+                self.thread_mut(thread)
                     .frame_mut()
                     .protections
                     .push(Protection::Catch {
@@ -1056,7 +1220,7 @@ impl<'p> Execution<'p> {
                 self.advance(thread);
             }
             Instr::ExitTry => {
-                let popped = self.threads[thread.index()].frame_mut().protections.pop();
+                let popped = self.thread_mut(thread).frame_mut().protections.pop();
                 debug_assert!(
                     matches!(popped, Some(Protection::Catch { .. })),
                     "ExitTry must pop a Catch protection"
@@ -1145,7 +1309,7 @@ impl<'p> Execution<'p> {
         at: InstrId,
         observer: &mut dyn Observer,
     ) {
-        let fully = self.threads[thread.index()].pop_hold(obj, 1);
+        let fully = self.thread_mut(thread).pop_hold(obj, 1);
         if fully {
             self.locks.release(obj, thread);
             observer.on_event(&Event::Release {
@@ -1174,7 +1338,7 @@ impl<'p> Execution<'p> {
             msg,
             thread: notifier,
         });
-        self.threads[waiter.index()].status = Status::Reacquire {
+        self.thread_mut(waiter).status = Status::Reacquire {
             obj,
             depth,
             interrupted: false,
@@ -1183,7 +1347,7 @@ impl<'p> Execution<'p> {
     }
 
     fn deliver_interrupt(&mut self, target: ThreadId) {
-        let state = &mut self.threads[target.index()];
+        let state = Arc::make_mut(&mut self.threads[target.index()]);
         match state.status.clone() {
             Status::Waiting { obj, depth } => {
                 // Interrupted out of a wait: must reacquire, then throw.
@@ -1206,7 +1370,7 @@ impl<'p> Execution<'p> {
         locals[..args.len()].clone_from_slice(&args);
         let id = ThreadId(self.threads.len() as u32);
         self.threads
-            .push(ThreadState::new(id, proc, info.entry, locals));
+            .push(Arc::new(ThreadState::new(id, proc, info.entry, locals)));
         id
     }
 
@@ -1218,7 +1382,7 @@ impl<'p> Execution<'p> {
         uncaught: Option<UncaughtException>,
         observer: &mut dyn Observer,
     ) {
-        self.threads[thread.index()].status = Status::Exited;
+        self.thread_mut(thread).status = Status::Exited;
         let msg = self.next_msg();
         self.termination_msg.insert(thread, msg);
         observer.on_event(&Event::Send { msg, thread });
@@ -1227,7 +1391,7 @@ impl<'p> Execution<'p> {
             uncaught: uncaught.as_ref().map(|exception| exception.name),
         });
         if let Some(exception) = uncaught {
-            self.threads[thread.index()].uncaught = Some(exception.clone());
+            self.thread_mut(thread).uncaught = Some(exception.clone());
             self.uncaught.push(exception);
         }
     }
@@ -1245,11 +1409,7 @@ impl<'p> Execution<'p> {
             instr: thrown.at,
         });
         loop {
-            while let Some(protection) = self.threads[thread.index()]
-                .frame_mut()
-                .protections
-                .pop()
-            {
+            while let Some(protection) = self.thread_mut(thread).frame_mut().protections.pop() {
                 match protection {
                     Protection::Monitor { obj } => {
                         // Java releases monitors on abrupt completion.
@@ -1257,7 +1417,7 @@ impl<'p> Execution<'p> {
                     }
                     Protection::Catch { handler, catches } => {
                         if catches.matches(thrown.name) {
-                            self.threads[thread.index()].frame_mut().pc = handler;
+                            self.thread_mut(thread).frame_mut().pc = handler;
                             observer.on_event(&Event::ExceptionCaught {
                                 thread,
                                 name: thrown.name,
@@ -1267,7 +1427,7 @@ impl<'p> Execution<'p> {
                     }
                 }
             }
-            if self.threads[thread.index()].frames.pop().is_none() {
+            if self.thread_mut(thread).frames.pop().is_none() {
                 let error = ExecError::FrameUnderflow { thread };
                 self.poisoned = Some(error.clone());
                 return StepResult::EngineError(error);
@@ -1293,5 +1453,99 @@ impl fmt::Debug for Execution<'_> {
             .field("threads", &self.threads.len())
             .field("enabled", &self.enabled())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NullObserver;
+
+    #[test]
+    fn snapshot_is_send_sync() {
+        fn assert<T: Send + Sync + Clone>() {}
+        assert::<Snapshot>();
+    }
+
+    fn run_to_exit(exec: &mut Execution<'_>) {
+        let mut enabled = Vec::new();
+        loop {
+            exec.enabled_into(&mut enabled);
+            let Some(&thread) = enabled.first() else {
+                break;
+            };
+            exec.step(thread, &mut NullObserver);
+        }
+    }
+
+    #[test]
+    fn resume_matches_uninterrupted_run() {
+        let program = cil::compile(
+            r#"
+            global x = 0;
+            proc main() {
+                var i = 0;
+                while (i < 10) { x = x + i; i = i + 1; print i; }
+            }
+            "#,
+        )
+        .unwrap();
+        let mut straight = Execution::new(&program, "main").unwrap();
+        run_to_exit(&mut straight);
+
+        let mut forked = Execution::new(&program, "main").unwrap();
+        for _ in 0..17 {
+            forked.step(ThreadId(0), &mut NullObserver);
+        }
+        let snapshot = forked.snapshot();
+        assert_eq!(snapshot.steps(), 17);
+        assert!(snapshot.approx_bytes() > 0);
+
+        // Keep running the original past the fork point; the snapshot must
+        // not be disturbed (copy-on-write isolation).
+        run_to_exit(&mut forked);
+
+        let mut resumed = Execution::resume(&program, &snapshot);
+        run_to_exit(&mut resumed);
+        assert_eq!(resumed.steps(), straight.steps());
+        assert_eq!(resumed.output(), straight.output());
+        assert_eq!(resumed.global_value("x"), straight.global_value("x"));
+
+        // Restoring in place over a dirty execution works too.
+        let mut scratch = Execution::new(&program, "main").unwrap();
+        scratch.step(ThreadId(0), &mut NullObserver);
+        scratch.restore(&snapshot);
+        run_to_exit(&mut scratch);
+        assert_eq!(scratch.steps(), straight.steps());
+        assert_eq!(scratch.output(), straight.output());
+    }
+
+    #[test]
+    fn reset_matches_fresh_execution() {
+        let program = cil::compile(
+            r#"
+            class Lock { }
+            global l;
+            global x = 0;
+            proc main() {
+                l = new Lock;
+                sync (l) { x = 1; }
+                print x;
+            }
+            "#,
+        )
+        .unwrap();
+        let mut scratch = Execution::new(&program, "main").unwrap();
+        run_to_exit(&mut scratch);
+        let steps = scratch.steps();
+        let output = scratch.output().to_vec();
+
+        scratch.reset("main").unwrap();
+        assert_eq!(scratch.steps(), 0);
+        assert!(scratch.output().is_empty());
+        assert!(scratch.heap.is_empty());
+        run_to_exit(&mut scratch);
+        assert_eq!(scratch.steps(), steps);
+        assert_eq!(scratch.output(), output);
     }
 }

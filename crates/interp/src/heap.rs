@@ -1,11 +1,19 @@
-//! The shared heap: objects and arrays.
+//! The shared heap: objects and arrays, stored in copy-on-write pages.
 //!
 //! Allocation order is deterministic (sequential ids), which keeps replay
 //! exact and makes `ObjId`s meaningful across repeated runs with the same
 //! schedule.
+//!
+//! Cells live in fixed-capacity pages behind `Arc`s. Cloning a [`Heap`]
+//! (the core of [`crate::Execution::snapshot`]) therefore costs one
+//! refcount bump per page, and a write after a clone pays for copying only
+//! the page it touches ([`Arc::make_mut`]), not the whole heap. A fork of
+//! an execution with a large, mostly read-only heap is O(pages touched),
+//! which is what makes snapshot-accelerated fuzzing cheap.
 
 use crate::value::{ObjId, Value};
 use cil::flat::ClassId;
+use std::sync::Arc;
 
 /// A heap cell.
 #[derive(Clone, Debug, PartialEq)]
@@ -24,10 +32,22 @@ pub enum HeapCell {
     },
 }
 
+/// Cells per copy-on-write page. Small enough that a post-snapshot write
+/// copies little, large enough that snapshotting is a short `Vec<Arc>`
+/// clone rather than thousands of refcount bumps.
+const PAGE_CELLS: usize = 32;
+
+/// One copy-on-write page of heap cells.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct Page {
+    cells: Vec<HeapCell>,
+}
+
 /// The shared heap.
 #[derive(Clone, Debug, Default)]
 pub struct Heap {
-    cells: Vec<HeapCell>,
+    pages: Vec<Arc<Page>>,
+    len: usize,
     slots: u64,
 }
 
@@ -44,25 +64,34 @@ impl Heap {
         Self::default()
     }
 
+    fn push(&mut self, cell: HeapCell) -> ObjId {
+        let id = ObjId(self.len as u32);
+        if self.len.is_multiple_of(PAGE_CELLS) {
+            self.pages.push(Arc::new(Page {
+                cells: Vec::with_capacity(PAGE_CELLS),
+            }));
+        }
+        let page = self.pages.last_mut().expect("page just ensured");
+        Arc::make_mut(page).cells.push(cell);
+        self.len += 1;
+        id
+    }
+
     /// Allocates an object of `class` with `field_count` `null` fields.
     pub fn alloc_object(&mut self, class: ClassId, field_count: usize) -> ObjId {
-        let id = ObjId(self.cells.len() as u32);
         self.slots += alloc_cost(field_count);
-        self.cells.push(HeapCell::Object {
+        self.push(HeapCell::Object {
             class,
             fields: vec![Value::Null; field_count],
-        });
-        id
+        })
     }
 
     /// Allocates an array of `len` `null`s.
     pub fn alloc_array(&mut self, len: usize) -> ObjId {
-        let id = ObjId(self.cells.len() as u32);
         self.slots += alloc_cost(len);
-        self.cells.push(HeapCell::Array {
+        self.push(HeapCell::Array {
             elems: vec![Value::Null; len],
-        });
-        id
+        })
     }
 
     /// Total value slots ever allocated ([`alloc_cost`] per allocation) —
@@ -78,16 +107,20 @@ impl Heap {
     ///
     /// Panics if `id` was not allocated from this heap.
     pub fn cell(&self, id: ObjId) -> &HeapCell {
-        &self.cells[id.index()]
+        let index = id.index();
+        &self.pages[index / PAGE_CELLS].cells[index % PAGE_CELLS]
     }
 
-    /// Mutable access to the cell for `id`.
+    /// Mutable access to the cell for `id`. Copies the containing page
+    /// first if it is shared with a snapshot.
     ///
     /// # Panics
     ///
     /// Panics if `id` was not allocated from this heap.
     pub fn cell_mut(&mut self, id: ObjId) -> &mut HeapCell {
-        &mut self.cells[id.index()]
+        let index = id.index();
+        let page = Arc::make_mut(&mut self.pages[index / PAGE_CELLS]);
+        &mut page.cells[index % PAGE_CELLS]
     }
 
     /// Array length, if `id` is an array.
@@ -100,12 +133,27 @@ impl Heap {
 
     /// Number of allocated cells.
     pub fn len(&self) -> usize {
-        self.cells.len()
+        self.len
     }
 
     /// Returns `true` if nothing has been allocated.
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.len == 0
+    }
+
+    /// Drops every cell but keeps the page index allocation for reuse.
+    pub(crate) fn clear(&mut self) {
+        self.pages.clear();
+        self.len = 0;
+        self.slots = 0;
+    }
+
+    /// Deterministic approximation of the logical footprint in bytes,
+    /// ignoring structural sharing (a budget metric, not a profiler).
+    pub(crate) fn approx_bytes(&self) -> u64 {
+        let cell = std::mem::size_of::<HeapCell>() as u64;
+        let value = std::mem::size_of::<Value>() as u64;
+        self.len as u64 * cell + self.slots * value
     }
 }
 
@@ -158,5 +206,50 @@ mod tests {
                 elems: vec![Value::Int(9)]
             }
         );
+    }
+
+    #[test]
+    fn clone_shares_pages_until_written() {
+        let mut heap = Heap::new();
+        for _ in 0..(PAGE_CELLS * 3) {
+            heap.alloc_array(1);
+        }
+        let fork = heap.clone();
+        // Writing through the fork must not disturb the original.
+        let mut fork = fork;
+        if let HeapCell::Array { elems } = fork.cell_mut(ObjId(0)) {
+            elems[0] = Value::Int(1);
+        }
+        assert_eq!(
+            heap.cell(ObjId(0)),
+            &HeapCell::Array {
+                elems: vec![Value::Null]
+            }
+        );
+        assert_eq!(
+            fork.cell(ObjId(0)),
+            &HeapCell::Array {
+                elems: vec![Value::Int(1)]
+            }
+        );
+        // Pages the fork never wrote are still physically shared.
+        assert!(Arc::ptr_eq(&heap.pages[2], &fork.pages[2]));
+    }
+
+    #[test]
+    fn spans_many_pages() {
+        let mut heap = Heap::new();
+        let total = PAGE_CELLS * 2 + 5;
+        for i in 0..total {
+            let id = heap.alloc_array(1);
+            assert_eq!(id, ObjId(i as u32));
+        }
+        assert_eq!(heap.len(), total);
+        for i in 0..total {
+            assert!(matches!(
+                heap.cell(ObjId(i as u32)),
+                HeapCell::Array { .. }
+            ));
+        }
     }
 }

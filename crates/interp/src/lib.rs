@@ -52,7 +52,7 @@ pub mod thread;
 pub mod value;
 
 pub use event::{Access, Event, Loc, MsgId, NullObserver, Observer, RecordingObserver};
-pub use exec::{ExecError, Execution, SetupError, StepResult};
+pub use exec::{ExecError, Execution, SetupError, Snapshot, StepResult};
 pub use heap::{Heap, HeapCell};
 pub use rng::Rng;
 pub use sched::{

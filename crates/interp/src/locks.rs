@@ -27,6 +27,11 @@ impl LockTable {
         Self::default()
     }
 
+    /// Forgets every monitor, keeping the map's allocation for reuse.
+    pub(crate) fn clear(&mut self) {
+        self.monitors.clear();
+    }
+
     /// Current owner of `obj`'s monitor.
     pub fn owner(&self, obj: ObjId) -> Option<ThreadId> {
         self.monitors.get(&obj).and_then(|monitor| monitor.owner)

@@ -94,6 +94,17 @@ impl Rng {
     pub fn split(&mut self) -> Rng {
         Rng::seeded(self.next_u64())
     }
+
+    /// Advances the stream by `n` draws without using the outputs.
+    ///
+    /// Snapshot resume reconstructs a trial's generator as
+    /// `Rng::seeded(seed)` fast-forwarded past the draws the skipped
+    /// prefix consumed; this is that fast-forward.
+    pub fn discard(&mut self, n: u64) {
+        for _ in 0..n {
+            self.next_u64();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +181,18 @@ mod tests {
     #[should_panic(expected = "non-zero bound")]
     fn below_zero_bound_panics() {
         Rng::seeded(0).below(0);
+    }
+
+    #[test]
+    fn discard_matches_manual_draws() {
+        let mut skipped = Rng::seeded(17);
+        let mut drawn = Rng::seeded(17);
+        skipped.discard(23);
+        for _ in 0..23 {
+            drawn.next_u64();
+        }
+        assert_eq!(skipped, drawn);
+        assert_eq!(skipped.next_u64(), drawn.next_u64());
     }
 
     #[test]

@@ -118,6 +118,34 @@ impl ThreadState {
         }
     }
 
+    /// Reinitialises this thread as a fresh entry thread, reusing the
+    /// frame/locals allocations it already owns (the trial-scratch path).
+    pub fn reset(&mut self, id: ThreadId, proc: ProcId, pc: InstrId, local_count: usize) {
+        self.id = id;
+        self.frames.truncate(1);
+        match self.frames.first_mut() {
+            Some(frame) => {
+                frame.proc = proc;
+                frame.pc = pc;
+                frame.ret_dst = None;
+                frame.protections.clear();
+                frame.locals.clear();
+                frame.locals.resize(local_count, Value::Null);
+            }
+            None => self.frames.push(Frame {
+                proc,
+                pc,
+                locals: vec![Value::Null; local_count],
+                ret_dst: None,
+                protections: Vec::new(),
+            }),
+        }
+        self.status = Status::Runnable;
+        self.interrupted = false;
+        self.held.clear();
+        self.uncaught = None;
+    }
+
     /// Returns `true` if the thread has not terminated.
     pub fn is_alive(&self) -> bool {
         self.status != Status::Exited

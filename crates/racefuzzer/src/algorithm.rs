@@ -17,15 +17,44 @@
 //!   [`FuzzConfig::postpone_limit`] scheduler decisions is evicted, which
 //!   breaks livelocks where a non-postponed thread spins on a flag that a
 //!   postponed thread would set.
+//!
+//! The loop optionally cooperates with the snapshot layer
+//! ([`crate::snapshot`]): trials fork from cached copy-on-write prefixes
+//! and report every non-forced random choice to a per-pair decision trie.
+//! With no cache attached the control flow — and, critically, the RNG draw
+//! sequence — is exactly the paper's algorithm.
 
 use crate::config::FuzzConfig;
 use crate::outcome::{FuzzOutcome, RealRaceEvent};
-use detector::RacePair;
-use interp::{
-    Execution, NullObserver, Rng, SetupError, Termination, ThreadId,
-};
+use crate::snapshot::{PairCache, SnapshotMode, TrialSession};
 use cil::flat::InstrId;
+use detector::RacePair;
+use interp::{Execution, NullObserver, Rng, SetupError, Termination, ThreadId};
 use std::collections::BTreeSet;
+
+/// Reusable per-trial machinery: the interpreter state and the scheduler's
+/// scratch buffers. Holding one of these across the trials of a pair lets
+/// every trial after the first reuse the heap's page table, thread frames,
+/// and candidate buffers instead of re-allocating them (the non-snapshot
+/// fallback path benefits the most — it rebuilds state from scratch every
+/// trial).
+pub(crate) struct TrialScratch<'p> {
+    exec: Option<Execution<'p>>,
+    enabled: Vec<ThreadId>,
+    expired: Vec<ThreadId>,
+    candidates: Vec<ThreadId>,
+}
+
+impl<'p> TrialScratch<'p> {
+    pub(crate) fn new() -> Self {
+        TrialScratch {
+            exec: None,
+            enabled: Vec::new(),
+            expired: Vec::new(),
+            candidates: Vec::new(),
+        }
+    }
+}
 
 /// Runs one race-directed random execution targeting `race_set`.
 ///
@@ -47,26 +76,78 @@ pub fn fuzz_once(
     race_set: &BTreeSet<InstrId>,
     config: &FuzzConfig,
 ) -> Result<FuzzOutcome, SetupError> {
-    let mut exec = Execution::new(program, entry)?;
-    exec.set_heap_budget(config.max_heap_cells);
-    let mut rng = Rng::seeded(config.seed);
-    let mut observer = NullObserver;
+    fuzz_once_session(program, entry, race_set, config, None, None)
+}
 
+/// [`fuzz_once`] with an optional snapshot cache and reusable scratch.
+///
+/// The result is byte-identical to [`fuzz_once`] for the same inputs: the
+/// cache only changes *how much* of the trial is re-executed, never what it
+/// computes, and the scratch only recycles allocations.
+pub(crate) fn fuzz_once_session<'p>(
+    program: &'p cil::Program,
+    entry: &str,
+    race_set: &BTreeSet<InstrId>,
+    config: &FuzzConfig,
+    cache: Option<&PairCache>,
+    scratch: Option<&mut TrialScratch<'p>>,
+) -> Result<FuzzOutcome, SetupError> {
+    // Snapshots replay by RNG draw *count*; a recorded schedule would force
+    // an O(steps) trace into every snapshot, and wall-clock deadlines are
+    // machine-dependent, so either setting disables acceleration outright.
+    let cache = cache.filter(|cache| {
+        cache.options().mode != SnapshotMode::Off
+            && !config.record_schedule
+            && config.wall_clock.is_none()
+    });
+    let mut session = cache.map(|cache| cache.begin_trial(program, entry, config));
+    let resume = session.as_ref().and_then(TrialSession::resume_point);
+
+    let mut local = TrialScratch::new();
+    let scratch = scratch.unwrap_or(&mut local);
+    let TrialScratch {
+        exec: exec_slot,
+        enabled,
+        expired,
+        candidates,
+    } = scratch;
+    match exec_slot {
+        Some(exec) => match &resume {
+            Some(snap) => exec.restore(&snap.exec),
+            None => exec.reset(entry)?,
+        },
+        None => {
+            *exec_slot = Some(match &resume {
+                Some(snap) => Execution::resume(program, &snap.exec),
+                None => Execution::new(program, entry)?,
+            });
+        }
+    }
+    let exec = exec_slot.as_mut().expect("installed above");
+    exec.set_heap_budget(config.max_heap_cells);
+
+    let mut rng = Rng::seeded(config.seed);
+    let mut draws: u64 = 0;
     // The postponed set, with the scheduler-decision index at which each
     // thread was postponed (for the livelock monitor).
     let mut postponed: Vec<(ThreadId, u64)> = Vec::new();
     let mut races: Vec<RealRaceEvent> = Vec::new();
-    let mut schedule: Option<Vec<ThreadId>> = config.record_schedule.then(Vec::new);
     let mut decisions: u64 = 0;
+    if let Some(snap) = &resume {
+        rng.discard(snap.draws);
+        draws = snap.draws;
+        postponed.extend_from_slice(&snap.postponed);
+        races.extend_from_slice(&snap.races);
+        decisions = snap.decisions;
+    }
+    let mut schedule: Option<Vec<ThreadId>> = config.record_schedule.then(Vec::new);
     let started = config.wall_clock.map(|_| std::time::Instant::now());
-    // Reused across scheduler decisions: with trials pinned on every core,
-    // three `Vec` allocations per decision are a hot-path cost parallelism
-    // multiplies, so each buffer is allocated once per trial.
-    let mut enabled: Vec<ThreadId> = Vec::new();
-    let mut expired: Vec<ThreadId> = Vec::new();
-    let mut candidates: Vec<ThreadId> = Vec::new();
+    let mut observer = NullObserver;
 
     let termination = loop {
+        if let Some(session) = session.as_mut() {
+            session.at_loop_top(exec, &postponed, &races, decisions, draws);
+        }
         if let Some(error) = exec.engine_error() {
             break Termination::EngineError(error.clone());
         }
@@ -80,7 +161,7 @@ pub fn fuzz_once(
                 }
             }
         }
-        exec.enabled_into(&mut enabled);
+        exec.enabled_into(enabled);
         if enabled.is_empty() {
             break if !exec.has_alive() {
                 Termination::AllExited
@@ -103,10 +184,10 @@ pub fn fuzz_once(
                 .filter(|&&(_, since)| decisions.saturating_sub(since) > config.postpone_limit)
                 .map(|&(thread, _)| thread),
         );
-        for &thread in &expired {
+        for &thread in expired.iter() {
             postponed.retain(|&(held, _)| held != thread);
             if exec.is_enabled(thread) {
-                step(&mut exec, thread, &mut schedule, &mut observer);
+                step(exec, thread, &mut schedule, &mut observer);
             }
         }
         // Defensive: a postponed thread is always enabled (its next
@@ -126,21 +207,27 @@ pub fn fuzz_once(
             // Algorithm 1 lines 26–28 (also reachable when a non-postponed
             // thread blocked): release a random postponed thread and run
             // its pending statement.
-            let index = rng.below(postponed.len());
+            let index = draw_pick(&mut rng, &mut draws, postponed.len(), &mut session, cache);
             let (freed, _) = postponed.remove(index);
             if exec.is_enabled(freed) {
-                step(&mut exec, freed, &mut schedule, &mut observer);
+                step(exec, freed, &mut schedule, &mut observer);
             }
             continue;
         }
 
-        let chosen = *rng.choose(&candidates);
+        let chosen = candidates[draw_pick(
+            &mut rng,
+            &mut draws,
+            candidates.len(),
+            &mut session,
+            cache,
+        )];
         let next = exec.next_instr(chosen);
         let targeted = next.is_some_and(|instr| race_set.contains(&instr));
 
         if !targeted {
             // Line 24: the common case.
-            step(&mut exec, chosen, &mut schedule, &mut observer);
+            step(exec, chosen, &mut schedule, &mut observer);
             // §4 optimisation: keep the thread running until the next
             // synchronization operation or RaceSet statement.
             if config.switch_only_at_sync {
@@ -154,7 +241,7 @@ pub fn fuzz_once(
                     if race_set.contains(&instr) || exec.program().instr(instr).is_sync_op() {
                         break;
                     }
-                    step(&mut exec, chosen, &mut schedule, &mut observer);
+                    step(exec, chosen, &mut schedule, &mut observer);
                 }
             }
         } else {
@@ -196,14 +283,14 @@ pub fn fuzz_once(
                         partners: vec![partner],
                     });
                 }
-                if rng.coin() {
+                if draw_coin(&mut rng, &mut draws, &mut session, cache) {
                     // Run the arriving thread; keep the others postponed.
-                    step(&mut exec, chosen, &mut schedule, &mut observer);
+                    step(exec, chosen, &mut schedule, &mut observer);
                 } else {
                     // Postpone the arriving thread, run every racing peer.
                     postponed.push((chosen, decisions));
                     for &partner in &racing {
-                        step(&mut exec, partner, &mut schedule, &mut observer);
+                        step(exec, partner, &mut schedule, &mut observer);
                         postponed.retain(|&(thread, _)| thread != partner);
                     }
                 }
@@ -212,16 +299,16 @@ pub fn fuzz_once(
 
         // Line 26: all enabled threads postponed → release one at random
         // and run its pending statement so the schedule makes progress.
-        exec.enabled_into(&mut enabled);
+        exec.enabled_into(enabled);
         if !enabled.is_empty()
             && enabled
                 .iter()
                 .all(|thread| postponed.iter().any(|&(held, _)| held == *thread))
         {
-            let index = rng.below(postponed.len());
+            let index = draw_pick(&mut rng, &mut draws, postponed.len(), &mut session, cache);
             let (freed, _) = postponed.remove(index);
             if exec.is_enabled(freed) {
-                step(&mut exec, freed, &mut schedule, &mut observer);
+                step(exec, freed, &mut schedule, &mut observer);
             }
         }
     };
@@ -235,6 +322,44 @@ pub fn fuzz_once(
         output: exec.output().to_vec(),
         schedule,
     })
+}
+
+/// Draws `rng.below(bound)` while keeping the trial's draw counter and the
+/// decision trie informed. A draw with `bound == 1` is *forced* — it always
+/// yields 0 — so only `bound >= 2` draws become trie nodes; forced draws
+/// still consume an RNG word, exactly as on the uncached path.
+fn draw_pick(
+    rng: &mut Rng,
+    draws: &mut u64,
+    bound: usize,
+    session: &mut Option<TrialSession>,
+    cache: Option<&PairCache>,
+) -> usize {
+    let before = *draws;
+    *draws += 1;
+    let outcome = rng.below(bound);
+    if bound >= 2 {
+        if let (Some(session), Some(cache)) = (session.as_mut(), cache) {
+            session.on_pick(cache, bound, outcome, before);
+        }
+    }
+    outcome
+}
+
+/// Draws the race-resolution coin, mirroring [`draw_pick`]'s bookkeeping.
+fn draw_coin(
+    rng: &mut Rng,
+    draws: &mut u64,
+    session: &mut Option<TrialSession>,
+    cache: Option<&PairCache>,
+) -> bool {
+    let before = *draws;
+    *draws += 1;
+    let outcome = rng.coin();
+    if let (Some(session), Some(cache)) = (session.as_mut(), cache) {
+        session.on_coin(cache, outcome, before);
+    }
+    outcome
 }
 
 fn step(
@@ -279,4 +404,29 @@ pub fn fuzz_pair_once(
     );
     let race_set: BTreeSet<InstrId> = pair.instrs().into_iter().collect();
     fuzz_once(program, entry, &race_set, config)
+}
+
+/// [`fuzz_pair_once`] drawing on a per-pair snapshot cache.
+///
+/// The outcome is byte-identical to [`fuzz_pair_once`] for the same
+/// inputs; the cache only skips re-execution of prefixes the seed would
+/// have replayed verbatim. Race-set statements are memory accesses
+/// (debug-asserted), which is what makes the shared entry prologue sound:
+/// it stops before the first memory access, so no cached prefix can
+/// contain a targeted statement.
+pub fn fuzz_pair_once_cached(
+    program: &cil::Program,
+    entry: &str,
+    pair: RacePair,
+    config: &FuzzConfig,
+    cache: Option<&PairCache>,
+) -> Result<FuzzOutcome, SetupError> {
+    debug_assert!(
+        pair.instrs()
+            .iter()
+            .all(|&instr| program.instr(instr).is_memory_access()),
+        "race set statements must be shared-memory accesses"
+    );
+    let race_set: BTreeSet<InstrId> = pair.instrs().into_iter().collect();
+    fuzz_once_session(program, entry, &race_set, config, cache, None)
 }

@@ -55,9 +55,10 @@ pub mod deadlock;
 pub mod outcome;
 pub mod parallel;
 pub mod runner;
+pub mod snapshot;
 pub mod trace;
 
-pub use algorithm::{fuzz_once, fuzz_pair_once};
+pub use algorithm::{fuzz_once, fuzz_pair_once, fuzz_pair_once_cached};
 pub use atomicity::{
     analyze_atomicity, fuzz_atomicity_once, AtomicityOutcome, AtomicityReport, ViolationEvent,
 };
@@ -71,6 +72,7 @@ pub use runner::{
     analyze, fuzz_pair, gather_candidates, simple_random_exceptions, AnalysisReport,
     AnalyzeOptions, CandidateSource, PairReport, Provenance,
 };
+pub use snapshot::{EntryCache, PairCache, SnapshotMode, SnapshotOptions, SnapshotStats};
 pub use trace::render_trace;
 
 /// Phase-1 engine selection, re-exported so drivers can pick the engine

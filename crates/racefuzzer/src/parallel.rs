@@ -18,12 +18,15 @@
 //! steal order. The determinism test suite asserts exactly this for
 //! workers ∈ {1, 2, 4, 7} over every Table-1 workload.
 
-use crate::algorithm::fuzz_pair_once;
+use crate::algorithm::{fuzz_once_session, TrialScratch};
 use crate::config::FuzzConfig;
 use crate::runner::PairReport;
+use crate::snapshot::PairCache;
 use detector::RacePair;
 use interp::SetupError;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Sizing of the Phase-2 worker pool.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -111,6 +114,36 @@ pub fn fuzz_pairs_parallel(
     template: &FuzzConfig,
     options: &ParallelOptions,
 ) -> Result<Vec<PairReport>, SetupError> {
+    fuzz_pairs_parallel_cached(
+        program, entry, targets, trials, base_seed, template, options, None,
+    )
+}
+
+/// [`fuzz_pairs_parallel`] with optional per-pair snapshot caches
+/// (parallel to `targets`). Every worker shares a pair's cache read-side —
+/// the decision trie is the one deliberately shared piece of state in the
+/// pool — while scratch interpreter state stays worker-local. Reports are
+/// still byte-identical to the sequential, cache-less fold; the caches
+/// only add the advisory [`PairReport::snapshots`] statistics.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fuzz_pairs_parallel_cached(
+    program: &cil::Program,
+    entry: &str,
+    targets: &[RacePair],
+    trials: usize,
+    base_seed: u64,
+    template: &FuzzConfig,
+    options: &ParallelOptions,
+    caches: Option<&[Arc<PairCache>]>,
+) -> Result<Vec<PairReport>, SetupError> {
+    debug_assert!(caches.is_none_or(|caches| caches.len() == targets.len()));
+    debug_assert!(
+        targets.iter().all(|target| target
+            .instrs()
+            .iter()
+            .all(|&instr| program.instr(instr).is_memory_access())),
+        "race set statements must be shared-memory accesses"
+    );
     let chunk_size = options.chunk_size(trials);
     let mut chunks = Vec::new();
     for slot in 0..targets.len() {
@@ -130,6 +163,9 @@ pub fn fuzz_pairs_parallel(
                 .map(|_| {
                     scope.spawn(|| {
                         let mut completed = Vec::new();
+                        // Worker-local interpreter scratch, reused across
+                        // every chunk this worker steals.
+                        let mut scratch = TrialScratch::new();
                         loop {
                             // The steal: an atomic fetch-add over the shared
                             // queue. Whichever worker drains its chunk first
@@ -139,6 +175,9 @@ pub fn fuzz_pairs_parallel(
                                 break;
                             };
                             let target = targets[chunk.slot];
+                            let cache = caches.map(|caches| &*caches[chunk.slot]);
+                            let race_set: BTreeSet<cil::flat::InstrId> =
+                                target.instrs().into_iter().collect();
                             let mut partial = PairReport::empty(target);
                             let mut failed = None;
                             for trial in chunk.start..chunk.end {
@@ -147,7 +186,14 @@ pub fn fuzz_pairs_parallel(
                                     seed,
                                     ..template.clone()
                                 };
-                                match fuzz_pair_once(program, entry, target, &config) {
+                                match fuzz_once_session(
+                                    program,
+                                    entry,
+                                    &race_set,
+                                    &config,
+                                    cache,
+                                    Some(&mut scratch),
+                                ) {
                                     Ok(outcome) => partial.absorb(seed, &outcome, program),
                                     Err(error) => {
                                         failed = Some(error);
@@ -192,6 +238,13 @@ pub fn fuzz_pairs_parallel(
         match slot_result.expect("the pool drained every chunk") {
             Ok(partial) => reports[chunk.slot].merge(&partial),
             Err(error) => return Err(error),
+        }
+    }
+    // Advisory snapshot statistics, attached after the deterministic merge
+    // (they are excluded from report identity).
+    if let Some(caches) = caches {
+        for (report, cache) in reports.iter_mut().zip(caches) {
+            report.snapshots = Some(cache.stats());
         }
     }
     Ok(reports)
