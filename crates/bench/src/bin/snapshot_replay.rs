@@ -24,7 +24,10 @@
 //!
 //! Results are written as `BENCH_snapshot_replay.json`. With `--check` the
 //! process exits non-zero if the trie's speedup over `fresh` falls below
-//! 2.5x on any gated long-prologue workload. The strategies are all
+//! 2.0x on any gated long-prologue workload, or if allocator traffic on an
+//! alloc-gated workload rises above the pooled floor (the interpreter's
+//! thread-local scratch pools keep per-trial setup allocations bounded;
+//! the gate pins that floor against regression). The strategies are all
 //! single-threaded, so the gate holds on single-core machines too; it
 //! refuses to run on builds with fault-injection sites compiled in.
 //!
@@ -45,7 +48,21 @@ static ALLOC: CountingAlloc = CountingAlloc;
 
 /// The speedup bar for the prefix trie over the fresh-interpreter baseline
 /// on gated (long-prologue) workloads.
-const GATE_SPEEDUP: f64 = 2.5;
+///
+/// Recalibrated from 2.5x when the register-bytecode engine became the
+/// default: snapshots win by *skipping re-execution*, so making execution
+/// itself ~2x faster shrinks the relative win even as absolute trials/s
+/// rise in every mode (deep-suffix fresh 1.7k → 3.1k trials/s, trie
+/// 5.1k → 6.8k at the switch). The bar guards the snapshot layer against
+/// its own regressions, not against the interpreter getting faster.
+const GATE_SPEEDUP: f64 = 2.0;
+
+/// Ceiling on allocations per trial for every strategy on alloc-gated
+/// workloads. The interpreter's scratch pools (locals buffers, thread
+/// records, VM registers, inline-cache tables) bring the measured floor to
+/// ~9-13; the bar leaves headroom for allocator noise while still catching
+/// any per-step or per-trial allocation creeping back in.
+const GATE_ALLOCS_PER_TRIAL: u64 = 16;
 
 /// A benchmark program with a named shape. `gate` marks the long-prologue
 /// workloads the `--check` bar applies to. `seed_period` cycles the seed
@@ -56,6 +73,10 @@ struct BenchWorkload {
     name: &'static str,
     source: &'static str,
     gate: bool,
+    /// Apply the `GATE_ALLOCS_PER_TRIAL` bar. Only meaningful on workloads
+    /// whose trials observe no real races: confirmed-race bookkeeping
+    /// (`RealRaceEvent` partner lists) legitimately allocates per event.
+    alloc_gate: bool,
     seed_period: Option<u64>,
 }
 
@@ -120,24 +141,28 @@ const WORKLOADS: [BenchWorkload; 4] = [
         name: "long_prologue",
         source: LONG_PROLOGUE,
         gate: true,
+        alloc_gate: true,
         seed_period: None,
     },
     BenchWorkload {
         name: "deep_suffix",
         source: DEEP_SUFFIX,
         gate: true,
+        alloc_gate: false,
         seed_period: None,
     },
     BenchWorkload {
         name: "retry_replay",
         source: DEEP_SUFFIX,
         gate: true,
+        alloc_gate: false,
         seed_period: Some(32),
     },
     BenchWorkload {
         name: "short_prologue",
         source: SHORT_PROLOGUE,
         gate: false,
+        alloc_gate: true,
         seed_period: None,
     },
 ];
@@ -371,6 +396,16 @@ fn main() -> ExitCode {
                 workload.name, trie.speedup
             ));
         }
+        if workload.alloc_gate {
+            for result in &results {
+                if result.allocs_per_trial > GATE_ALLOCS_PER_TRIAL {
+                    gate_failures.push(format!(
+                        "{}/{}: {} allocs/trial > {GATE_ALLOCS_PER_TRIAL}",
+                        workload.name, result.mode, result.allocs_per_trial
+                    ));
+                }
+            }
+        }
         workload_rows.push(Json::obj(vec![
             ("workload", Json::str(workload.name)),
             ("gate", Json::Bool(workload.gate)),
@@ -423,7 +458,10 @@ fn main() -> ExitCode {
             }
             return ExitCode::FAILURE;
         }
-        println!("check passed: trie speedup >= {GATE_SPEEDUP}x on every long-prologue workload");
+        println!(
+            "check passed: trie speedup >= {GATE_SPEEDUP}x on every long-prologue \
+             workload; <= {GATE_ALLOCS_PER_TRIAL} allocs/trial on alloc-gated workloads"
+        );
     }
     ExitCode::SUCCESS
 }

@@ -382,6 +382,13 @@ pub struct CampaignReport {
     /// [`CampaignOptions::predict`]); recorded so campaign artifacts are
     /// attributable when comparing epoch vs naive runs.
     pub detector: DetectorImpl,
+    /// Which Phase-2 execution engine ran the trials (from
+    /// [`racefuzzer::FuzzConfig::engine`]). Attribution only: the engines
+    /// are observably identical by contract, so — unlike `detector`, which
+    /// determines the candidate set — this is excluded from
+    /// [`CampaignReport::canonical_json`], keeping canonical bytes
+    /// engine-independent (the differential suite's equality oracle).
+    pub engine: interp::ExecEngine,
     /// What the startup recovery scan cleaned up (stale temp files, torn
     /// checkpoints/artifacts sidelined to `.corrupt-N`). Run-relative, so
     /// excluded from [`CampaignReport::canonical_json`].
@@ -663,6 +670,7 @@ impl Campaign {
                         interrupted: true,
                         resumed,
                         detector: self.options.predict.detector,
+                        engine: self.options.fuzz.engine,
                         recovery: events,
                     });
                 }
@@ -674,6 +682,7 @@ impl Campaign {
             interrupted: false,
             resumed,
             detector: self.options.predict.detector,
+            engine: self.options.fuzz.engine,
             recovery: events,
         })
     }
@@ -1048,6 +1057,7 @@ impl Campaign {
             switch_only_at_sync: self.options.fuzz.switch_only_at_sync,
             wall_clock_ms: artifact::duration_ms(self.options.fuzz.wall_clock),
             max_heap_cells: self.options.fuzz.max_heap_cells,
+            engine: self.options.fuzz.engine,
             // The failing pair is the one currently being fuzzed — its
             // report has not been committed yet, so its index is the
             // report count. Pre-provenance jobs default to Dynamic.

@@ -10,11 +10,12 @@
 //! paper) before committing to running it.
 
 use crate::ast::{BinOp, UnOp};
+use crate::bytecode::CodeImage;
 use crate::intern::{Interner, Symbol};
 use crate::span::Span;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident) => {
@@ -503,6 +504,8 @@ pub struct Program {
     pub tags: HashMap<String, Vec<InstrId>>,
     /// Pre-interned builtin exception names.
     pub builtins: BuiltinExceptions,
+    /// Lazily compiled register-bytecode image (see [`Program::bytecode`]).
+    pub(crate) bytecode: OnceLock<CodeImage>,
 }
 
 impl Program {
@@ -633,5 +636,14 @@ impl Program {
     /// text copy) — for accounting maps keyed by name on hot paths.
     pub fn name_shared(&self, symbol: Symbol) -> std::sync::Arc<str> {
         self.interner.resolve_shared(symbol)
+    }
+
+    /// The register-bytecode image of this program, compiled on first use
+    /// and cached for the program's lifetime (the program is immutable
+    /// after lowering, so the image never invalidates). Thread-safe: a
+    /// compiled `Program` is shared across trial workers and whichever
+    /// worker gets here first pays the one-time compile.
+    pub fn bytecode(&self) -> &CodeImage {
+        self.bytecode.get_or_init(|| CodeImage::compile(self))
     }
 }

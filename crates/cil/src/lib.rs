@@ -44,6 +44,7 @@
 
 pub mod ast;
 pub mod build;
+pub mod bytecode;
 pub mod check;
 pub mod error;
 pub mod flat;

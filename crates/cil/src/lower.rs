@@ -86,6 +86,7 @@ pub fn lower_module(module: &Module, info: &ModuleInfo) -> Program {
         spans: lowerer.spans,
         tags: lowerer.tags,
         builtins,
+        bytecode: std::sync::OnceLock::new(),
     }
 }
 

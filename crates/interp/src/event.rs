@@ -149,6 +149,28 @@ pub enum Event {
 pub trait Observer {
     /// Called once per event, in execution order.
     fn on_event(&mut self, event: &Event);
+
+    /// Whether this observer reads [`Event::Mem`]'s `locks` field.
+    ///
+    /// Building the sorted lockset allocates a `Vec` per shared access
+    /// while locks are held; observers that ignore it (Phase-2 fuzzing
+    /// drives the execution API directly through [`NullObserver`]) return
+    /// `false` and receive `MEM` events with an empty `locks`. Defaults to
+    /// `true`: a correct-but-slower answer for every observer that might
+    /// look.
+    fn needs_lockset(&self) -> bool {
+        true
+    }
+
+    /// `false` promises this observer discards every event, letting the
+    /// interpreter skip constructing and dispatching them entirely — the
+    /// per-memory-access cost that dominates Phase-2 trials, which run
+    /// under [`NullObserver`]. Observably identical either way: an
+    /// observer that ignores events cannot tell whether they were built.
+    /// Defaults to `true`.
+    fn wants_events(&self) -> bool {
+        true
+    }
 }
 
 /// An observer that discards everything (the "normal execution" baseline).
@@ -157,6 +179,14 @@ pub struct NullObserver;
 
 impl Observer for NullObserver {
     fn on_event(&mut self, _event: &Event) {}
+
+    fn needs_lockset(&self) -> bool {
+        false
+    }
+
+    fn wants_events(&self) -> bool {
+        false
+    }
 }
 
 /// An observer that records every event (tests, trace debugging).

@@ -20,7 +20,10 @@ use crate::heap::{Heap, HeapCell};
 use crate::locks::LockTable;
 use crate::thread::{Frame, Protection, Status, ThreadState, UncaughtException};
 use crate::value::{ObjId, ThreadId, Value};
+use crate::scratch;
+use crate::vm::{ExecEngine, EMPTY_CACHE};
 use cil::ast::{BinOp, UnOp};
+use cil::bytecode::{CodeImage, EnabledKind};
 use cil::flat::{Instr, InstrId, LocalId, ProcId, PureExpr};
 use cil::{Program, Symbol};
 use std::collections::HashMap;
@@ -97,6 +100,11 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// A per-pc stop predicate for [`Execution::run_quiescent`], built by
+/// [`Execution::stop_mask`]: `true` where the statement must return control
+/// to the scheduler.
+pub struct StopMask(Box<[bool]>);
+
 /// The result of executing one statement of one thread.
 #[derive(Clone, Debug, PartialEq)]
 pub enum StepResult {
@@ -115,10 +123,10 @@ pub enum StepResult {
 
 /// An exception in flight during one step.
 #[derive(Clone, Debug)]
-struct Thrown {
-    name: Symbol,
-    message: Option<Arc<str>>,
-    at: InstrId,
+pub(crate) struct Thrown {
+    pub(crate) name: Symbol,
+    pub(crate) message: Option<Arc<str>>,
+    pub(crate) at: InstrId,
 }
 
 
@@ -147,6 +155,7 @@ pub struct Snapshot {
 
 impl Snapshot {
     /// Statements the captured state had executed.
+    #[inline]
     pub fn steps(&self) -> u64 {
         self.steps
     }
@@ -202,11 +211,11 @@ fn resolve_entry(program: &Program, entry: &str) -> Result<(ProcId, InstrId, usi
 
 /// A running (or finished) program state.
 pub struct Execution<'p> {
-    program: &'p Program,
-    heap: Heap,
-    globals: Vec<Value>,
-    threads: Vec<Arc<ThreadState>>,
-    locks: LockTable,
+    pub(crate) program: &'p Program,
+    pub(crate) heap: Heap,
+    pub(crate) globals: Vec<Value>,
+    pub(crate) threads: Vec<Arc<ThreadState>>,
+    pub(crate) locks: LockTable,
     msg_counter: MsgId,
     termination_msg: HashMap<ThreadId, MsgId>,
     steps: u64,
@@ -218,6 +227,21 @@ pub struct Execution<'p> {
     /// Heap-cell budget; `None` means unbounded (see
     /// [`Execution::set_heap_budget`]).
     heap_budget: Option<u64>,
+    /// Which execution engine [`Execution::step`] dispatches to (see
+    /// [`crate::vm::ExecEngine`]).
+    engine: ExecEngine,
+    /// The program's bytecode image when `engine` is `Bytecode`; `None`
+    /// forces the tree-walker.
+    pub(crate) code: Option<&'p CodeImage>,
+    /// Per-step temporary registers, sized to [`CodeImage::max_temps`].
+    /// Purely intra-step state: never captured in a [`Snapshot`].
+    pub(crate) vm_temps: Vec<Value>,
+    /// Monomorphic inline caches, one `(class id, field slot)` pair per
+    /// cache site, keyed on class id and never invalidated (class layouts
+    /// are immutable). A stale entry is impossible, only a missed one, so
+    /// cache contents are not observable state and survive
+    /// snapshot/restore/reset untouched.
+    pub(crate) field_caches: Vec<(u32, u32)>,
 }
 
 impl<'p> Execution<'p> {
@@ -229,17 +253,16 @@ impl<'p> Execution<'p> {
     /// Returns [`SetupError`] if `entry` is missing or takes parameters.
     pub fn new(program: &'p Program, entry: &str) -> Result<Self, SetupError> {
         let (proc, entry_pc, local_count) = resolve_entry(program, entry)?;
-        let globals = program
-            .globals
-            .iter()
-            .map(|global| Value::from(&global.init))
-            .collect();
-        let main = ThreadState::new(ThreadId(0), proc, entry_pc, vec![Value::Null; local_count]);
+        let mut globals = scratch::take_value_buffer(program.globals.len());
+        globals.extend(program.globals.iter().map(|global| Value::from(&global.init)));
+        let mut threads = scratch::take_thread_table();
+        threads.push(scratch::take_thread(ThreadId(0), proc, entry_pc, local_count));
+        let code = program.bytecode();
         Ok(Execution {
             program,
             heap: Heap::new(),
             globals,
-            threads: vec![Arc::new(main)],
+            threads,
             locks: LockTable::new(),
             msg_counter: 0,
             termination_msg: HashMap::new(),
@@ -248,6 +271,10 @@ impl<'p> Execution<'p> {
             uncaught: Vec::new(),
             poisoned: None,
             heap_budget: None,
+            engine: ExecEngine::Bytecode,
+            code: Some(code),
+            vm_temps: scratch::take_values(code.max_temps() as usize),
+            field_caches: scratch::take_caches(code.cache_sites() as usize, EMPTY_CACHE),
         })
     }
 
@@ -274,11 +301,16 @@ impl<'p> Execution<'p> {
     /// snapshots deliberately carry no program reference so they can cross
     /// threads and outlive the borrow they were taken under.
     pub fn resume(program: &'p Program, snapshot: &Snapshot) -> Execution<'p> {
+        let code = program.bytecode();
+        let mut globals = scratch::take_value_buffer(snapshot.globals.len());
+        globals.extend(snapshot.globals.iter().cloned());
+        let mut threads = scratch::take_thread_table();
+        threads.extend(snapshot.threads.iter().cloned());
         Execution {
             program,
             heap: snapshot.heap.clone(),
-            globals: snapshot.globals.clone(),
-            threads: snapshot.threads.clone(),
+            globals,
+            threads,
             locks: snapshot.locks.clone(),
             msg_counter: snapshot.msg_counter,
             termination_msg: snapshot.termination_msg.clone(),
@@ -287,6 +319,10 @@ impl<'p> Execution<'p> {
             uncaught: snapshot.uncaught.clone(),
             poisoned: snapshot.poisoned.clone(),
             heap_budget: snapshot.heap_budget,
+            engine: ExecEngine::Bytecode,
+            code: Some(code),
+            vm_temps: scratch::take_values(code.max_temps() as usize),
+            field_caches: scratch::take_caches(code.cache_sites() as usize, EMPTY_CACHE),
         }
     }
 
@@ -328,12 +364,9 @@ impl<'p> Execution<'p> {
         self.threads.truncate(1);
         match self.threads.first_mut() {
             Some(main) => Arc::make_mut(main).reset(ThreadId(0), proc, entry_pc, local_count),
-            None => self.threads.push(Arc::new(ThreadState::new(
-                ThreadId(0),
-                proc,
-                entry_pc,
-                vec![Value::Null; local_count],
-            ))),
+            None => self
+                .threads
+                .push(scratch::take_thread(ThreadId(0), proc, entry_pc, local_count)),
         }
         self.locks.clear();
         self.msg_counter = 0;
@@ -348,11 +381,12 @@ impl<'p> Execution<'p> {
 
     /// Mutable access to one thread's state, copying it first if a
     /// snapshot still shares it (cloned-on-first-write frames).
-    fn thread_mut(&mut self, thread: ThreadId) -> &mut ThreadState {
+    pub(crate) fn thread_mut(&mut self, thread: ThreadId) -> &mut ThreadState {
         Arc::make_mut(&mut self.threads[thread.index()])
     }
 
     /// The invariant violation that poisoned this machine, if any.
+    #[inline]
     pub fn engine_error(&self) -> Option<&ExecError> {
         self.poisoned.as_ref()
     }
@@ -364,6 +398,49 @@ impl<'p> Execution<'p> {
     /// is unbounded.
     pub fn set_heap_budget(&mut self, budget: Option<u64>) {
         self.heap_budget = budget;
+    }
+
+    /// Selects the execution engine (see [`ExecEngine`]). Both engines are
+    /// observably identical — same events, RNG-visible choices, errors, and
+    /// step counts — so this only changes speed. The default is
+    /// [`ExecEngine::Bytecode`]; switching is cheap and survives
+    /// [`Execution::restore`]/[`Execution::reset`].
+    pub fn set_engine(&mut self, engine: ExecEngine) {
+        self.engine = engine;
+        match engine {
+            ExecEngine::Bytecode => {
+                let code = self.program.bytecode();
+                self.vm_temps.resize(code.max_temps() as usize, Value::Null);
+                self.field_caches
+                    .resize(code.cache_sites() as usize, EMPTY_CACHE);
+                self.code = Some(code);
+            }
+            ExecEngine::TreeWalk => self.code = None,
+        }
+    }
+
+    /// Replaces the bytecode image driving [`ExecEngine::Bytecode`] and
+    /// switches to that engine — bench support for comparing compile
+    /// variants (e.g. [`CodeImage::compile_unfused`]) on one program.
+    ///
+    /// `code` must have been compiled from this execution's program; the
+    /// footprint table, cache-site count, and temp bank are all
+    /// image-relative, so a mismatched image is immediate undefined
+    /// *behaviour of the interpreted program* (not memory unsafety).
+    pub fn set_code_image(&mut self, code: &'p CodeImage) {
+        self.engine = ExecEngine::Bytecode;
+        self.vm_temps.resize(code.max_temps() as usize, Value::Null);
+        // Cache sites are numbered per image: entries learned under the
+        // previous image would hit the wrong slots, so scrub them all.
+        self.field_caches.clear();
+        self.field_caches
+            .resize(code.cache_sites() as usize, EMPTY_CACHE);
+        self.code = Some(code);
+    }
+
+    /// The engine [`Execution::step`] currently dispatches to.
+    pub fn engine(&self) -> ExecEngine {
+        self.engine
     }
 
     /// Charges an allocation of `len` fields/elements against the heap
@@ -394,6 +471,7 @@ impl<'p> Execution<'p> {
     }
 
     /// Total statements executed so far.
+    #[inline]
     pub fn steps(&self) -> u64 {
         self.steps
     }
@@ -490,23 +568,60 @@ impl<'p> Execution<'p> {
         match &state.status {
             Status::Exited | Status::Waiting { .. } => false,
             Status::Reacquire { obj, .. } => self.locks.owner(*obj).is_none(),
-            Status::Runnable => match self.program.instr(state.frame().pc) {
-                Instr::Lock { obj, .. } => match state.frame().locals[obj.index()] {
+            Status::Runnable => self.runnable_enabled(state, thread, state.frame().pc),
+        }
+    }
+
+    /// Combined `is_enabled` + `NextStmt` for scheduler inner loops: one
+    /// thread-table access answers both. `Some(pc)` iff the thread is
+    /// runnable *and* enabled; reacquiring-after-wait threads — enabled but
+    /// with no next statement — return `None`, exactly as the separate
+    /// `is_enabled`-then-`next_instr` sequence ends up treating them.
+    #[inline]
+    pub fn enabled_pc(&self, thread: ThreadId) -> Option<InstrId> {
+        let state = self.threads.get(thread.index())?;
+        if !matches!(state.status, Status::Runnable) {
+            return None;
+        }
+        let pc = state.frame().pc;
+        self.runnable_enabled(state, thread, pc).then_some(pc)
+    }
+
+    /// Enabledness of a `Runnable` thread at `pc` (can its next statement
+    /// execute now, or is it blocked at a `lock`/`join`?).
+    fn runnable_enabled(&self, state: &ThreadState, thread: ThreadId, pc: InstrId) -> bool {
+        // Bytecode path: a table read answers "can this pc block?"
+        // without touching the 26-variant instruction enum. The two
+        // conditional kinds replicate the tree-walk arms below exactly.
+        if let Some(code) = self.code {
+            return match code.enabled_kind(pc) {
+                EnabledKind::Plain => true,
+                EnabledKind::Lock(obj) => match state.frame().locals[obj.index()] {
                     Value::Ref(target) => self.locks.available_to(target, thread),
-                    // A null/ill-typed lock target throws immediately, so the
-                    // statement *can* execute.
-                    _ => true,
+                    _ => true, // throws immediately, so it can execute
                 },
-                Instr::Join { thread: handle } => {
-                    match state.frame().locals[handle.index()] {
-                        Value::Thread(target) => {
-                            state.interrupted || !self.threads[target.index()].is_alive()
-                        }
-                        _ => true, // throws TypeError
+                EnabledKind::Join(handle) => match state.frame().locals[handle.index()] {
+                    Value::Thread(target) => {
+                        state.interrupted || !self.threads[target.index()].is_alive()
                     }
-                }
+                    _ => true, // throws TypeError
+                },
+            };
+        }
+        match self.program.instr(pc) {
+            Instr::Lock { obj, .. } => match state.frame().locals[obj.index()] {
+                Value::Ref(target) => self.locks.available_to(target, thread),
+                // A null/ill-typed lock target throws immediately, so the
+                // statement *can* execute.
                 _ => true,
             },
+            Instr::Join { thread: handle } => match state.frame().locals[handle.index()] {
+                Value::Thread(target) => {
+                    state.interrupted || !self.threads[target.index()].is_alive()
+                }
+                _ => true, // throws TypeError
+            },
+            _ => true,
         }
     }
 
@@ -514,6 +629,18 @@ impl<'p> Execution<'p> {
     /// deadlock condition (Algorithm 1, line 30).
     pub fn is_deadlocked(&self) -> bool {
         !self.has_enabled() && self.has_alive()
+    }
+
+    /// `true` if `instr` is a synchronization operation — the scheduler's
+    /// per-statement query under the §4 switch-only-at-sync optimisation.
+    /// Engine-keyed: the bytecode image answers from its per-pc flag table,
+    /// the tree-walk path matches the instruction enum.
+    #[inline]
+    pub fn is_sync_op(&self, instr: InstrId) -> bool {
+        match self.code {
+            Some(code) => code.is_sync(instr),
+            None => self.program.instr(instr).is_sync_op(),
+        }
     }
 
     /// `NextStmt(s, t)`: the instruction `t` would execute next, when `t` is
@@ -538,6 +665,9 @@ impl<'p> Execution<'p> {
             return None;
         }
         let pc = state.frame().pc;
+        if let Some(code) = self.code {
+            return self.footprint_access(code, state, pc);
+        }
         let locals = &state.frame().locals;
         let access = |loc, is_write| Some(Access { instr: pc, loc, is_write });
         match self.program.instr(pc) {
@@ -607,16 +737,39 @@ impl<'p> Execution<'p> {
         if !self.is_enabled(thread) {
             return StepResult::NotEnabled;
         }
+        self.step_enabled(thread, observer)
+    }
+
+    /// [`Execution::step`] for callers that have *just verified*
+    /// [`Execution::is_enabled`] for `thread` (every scheduler decision
+    /// already has) — skips re-deriving enabledness, which is measurable at
+    /// one check per executed statement. Stepping a thread that is not
+    /// enabled is a caller bug: debug builds panic, release builds may
+    /// execute a blocked statement.
+    #[inline]
+    pub fn step_enabled(&mut self, thread: ThreadId, observer: &mut dyn Observer) -> StepResult {
+        if let Some(error) = &self.poisoned {
+            return StepResult::EngineError(error.clone());
+        }
+        debug_assert!(self.is_enabled(thread), "step_enabled on a disabled thread");
         self.steps += 1;
 
         // Completing a `wait`: reacquire the monitor, then resume or throw.
-        if let Status::Reacquire {
-            obj,
-            depth,
-            interrupted,
-            recv_msg,
-        } = self.threads[thread.index()].status.clone()
-        {
+        // The discriminant test keeps the `Status` copy off the hot path —
+        // almost every step finds the thread plainly `Runnable`.
+        if matches!(
+            self.threads[thread.index()].status,
+            Status::Reacquire { .. }
+        ) {
+            let Status::Reacquire {
+                obj,
+                depth,
+                interrupted,
+                recv_msg,
+            } = self.threads[thread.index()].status.clone()
+            else {
+                unreachable!("discriminant checked above");
+            };
             let pc = self.threads[thread.index()].frame().pc;
             self.locks.acquire(obj, thread);
             self.thread_mut(thread).push_hold(obj, depth);
@@ -643,7 +796,14 @@ impl<'p> Execution<'p> {
         }
 
         let pc = self.threads[thread.index()].frame().pc;
-        match self.exec_instr(thread, pc, observer) {
+        let result = match self.code {
+            Some(code) => {
+                let wants_events = observer.wants_events();
+                self.exec_bytecode(thread, pc, code, observer, wants_events)
+            }
+            None => self.exec_instr(thread, pc, observer),
+        };
+        match result {
             Ok(exited) => {
                 if let Some(error) = &self.poisoned {
                     return StepResult::EngineError(error.clone());
@@ -658,12 +818,73 @@ impl<'p> Execution<'p> {
         }
     }
 
+    /// Builds the per-pc stop predicate for [`Execution::run_quiescent`]:
+    /// `true` at every synchronization operation plus the caller's extra
+    /// stop points (a Phase-2 race set). Built once per trial so the inner
+    /// loop probes a byte instead of re-deriving both conditions per
+    /// statement.
+    pub fn stop_mask(&self, extra: &[InstrId]) -> StopMask {
+        let mut mask: Vec<bool> = (0..self.program.instr_count())
+            .map(|index| self.is_sync_op(InstrId(index as u32)))
+            .collect();
+        for pc in extra {
+            mask[pc.index()] = true;
+        }
+        StopMask(mask.into_boxed_slice())
+    }
+
+    /// Runs `thread` until its next statement is in `stop` (a race-set
+    /// statement or synchronization operation), the thread blocks or
+    /// exits, `max_steps` total steps are reached, or the engine poisons.
+    /// Returns how many statements ran (for schedule recording).
+    ///
+    /// This is the body of a scheduler's "run until the next possible
+    /// context switch" inner loop, folded into the interpreter so the
+    /// per-statement bookkeeping — enabledness, next-statement fetch, the
+    /// stop probes, and the step prologue — stays in one loop with its
+    /// state hot, instead of being re-derived across a crate boundary for
+    /// every statement. Observable behavior is exactly the equivalent
+    /// `enabled_pc` / probe / `step_enabled` sequence, including where an
+    /// exception unwinds and execution of the same thread continues.
+    pub fn run_quiescent(
+        &mut self,
+        thread: ThreadId,
+        stop: &StopMask,
+        max_steps: u64,
+        observer: &mut dyn Observer,
+    ) -> u64 {
+        let mut taken = 0;
+        let wants_events = observer.wants_events();
+        while self.steps < max_steps && self.poisoned.is_none() {
+            let Some(pc) = self.enabled_pc(thread) else {
+                break;
+            };
+            if stop.0[pc.index()] {
+                break;
+            }
+            // `enabled_pc` returned `Some`, so the thread is `Runnable` —
+            // `step_enabled`'s wait-reacquisition branch cannot apply.
+            self.steps += 1;
+            taken += 1;
+            let result = match self.code {
+                Some(code) => self.exec_bytecode(thread, pc, code, observer, wants_events),
+                None => self.exec_instr(thread, pc, observer),
+            };
+            if let Err(thrown) = result {
+                // May catch (thread keeps running), kill the thread, or
+                // poison the engine — the loop head re-derives all three.
+                self.unwind(thread, thrown, observer);
+            }
+        }
+        taken
+    }
+
     fn next_msg(&mut self) -> MsgId {
         self.msg_counter += 1;
         self.msg_counter
     }
 
-    fn throw(&self, name: Symbol, message: impl Into<String>, at: InstrId) -> Thrown {
+    pub(crate) fn throw(&self, name: Symbol, message: impl Into<String>, at: InstrId) -> Thrown {
         Thrown {
             name,
             message: Some(Arc::from(message.into().as_str())),
@@ -673,7 +894,7 @@ impl<'p> Execution<'p> {
 
     /// Borrows a local slot without cloning the value — the hot-path way
     /// to inspect a lock/handle operand.
-    fn local_ref(&self, thread: ThreadId, slot: LocalId) -> &Value {
+    pub(crate) fn local_ref(&self, thread: ThreadId, slot: LocalId) -> &Value {
         &self.threads[thread.index()].frame().locals[slot.index()]
     }
 
@@ -691,7 +912,7 @@ impl<'p> Execution<'p> {
         self.eval_in(&self.threads[thread.index()], expr, at)
     }
 
-    fn eval_in(
+    pub(crate) fn eval_in(
         &self,
         state: &ThreadState,
         expr: &PureExpr,
@@ -733,7 +954,7 @@ impl<'p> Execution<'p> {
         }
     }
 
-    fn eval_binop(
+    pub(crate) fn eval_binop(
         &self,
         op: BinOp,
         left: Value,
@@ -785,7 +1006,7 @@ impl<'p> Execution<'p> {
         }
     }
 
-    fn as_bool(&self, value: Value, at: InstrId) -> Result<bool, Thrown> {
+    pub(crate) fn as_bool(&self, value: Value, at: InstrId) -> Result<bool, Thrown> {
         match value {
             Value::Bool(b) => Ok(b),
             other => Err(self.throw(
@@ -796,7 +1017,7 @@ impl<'p> Execution<'p> {
         }
     }
 
-    fn as_ref(&self, value: &Value, what: &str, at: InstrId) -> Result<ObjId, Thrown> {
+    pub(crate) fn as_ref(&self, value: &Value, what: &str, at: InstrId) -> Result<ObjId, Thrown> {
         match value {
             Value::Ref(obj) => Ok(*obj),
             Value::Null => Err(self.throw(
@@ -812,7 +1033,7 @@ impl<'p> Execution<'p> {
         }
     }
 
-    fn emit_mem(
+    pub(crate) fn emit_mem(
         &self,
         observer: &mut dyn Observer,
         thread: ThreadId,
@@ -820,18 +1041,26 @@ impl<'p> Execution<'p> {
         loc: Loc,
         is_write: bool,
     ) {
+        if !observer.wants_events() {
+            return;
+        }
+        let locks = if observer.needs_lockset() {
+            self.threads[thread.index()].lockset()
+        } else {
+            Vec::new()
+        };
         observer.on_event(&Event::Mem {
             thread,
             instr,
             loc,
             is_write,
-            locks: self.threads[thread.index()].lockset(),
+            locks,
         });
     }
 
     /// Executes the instruction at `pc`. `Ok(true)` means the thread exited
     /// normally during this step.
-    fn exec_instr(
+    pub(crate) fn exec_instr(
         &mut self,
         thread: ThreadId,
         pc: InstrId,
@@ -1051,9 +1280,15 @@ impl<'p> Execution<'p> {
                 self.advance(thread);
             }
             Instr::Spawn { dst, proc, args } => {
-                let mut values = Vec::with_capacity(args.len());
+                let mut values = scratch::take_value_buffer(args.len());
                 for arg in args {
-                    values.push(self.eval(thread, arg, pc)?);
+                    match self.eval(thread, arg, pc) {
+                        Ok(value) => values.push(value),
+                        Err(thrown) => {
+                            scratch::recycle_values(values);
+                            return Err(thrown);
+                        }
+                    }
                 }
                 let child = self.spawn_thread(*proc, values);
                 observer.on_event(&Event::ThreadSpawned {
@@ -1135,14 +1370,21 @@ impl<'p> Execution<'p> {
                 self.advance(thread);
             }
             Instr::Call { dst, proc, args } => {
-                let mut values = Vec::with_capacity(args.len());
+                let mut values = scratch::take_value_buffer(args.len());
                 for arg in args {
-                    values.push(self.eval(thread, arg, pc)?);
+                    match self.eval(thread, arg, pc) {
+                        Ok(value) => values.push(value),
+                        Err(thrown) => {
+                            scratch::recycle_values(values);
+                            return Err(thrown);
+                        }
+                    }
                 }
                 let info = &self.program.procs[proc.index()];
-                let mut locals = vec![Value::Null; info.local_count()];
+                let mut locals = scratch::take_values(info.local_count());
                 let filled = values.len();
                 locals[..filled].swap_with_slice(&mut values);
+                scratch::recycle_values(values);
                 // Return resumes *after* the call.
                 self.advance(thread);
                 self.thread_mut(thread).frames.push(Frame {
@@ -1170,11 +1412,13 @@ impl<'p> Execution<'p> {
                     self.poisoned = Some(ExecError::FrameUnderflow { thread });
                     return Ok(false);
                 };
+                let ret_dst = finished.ret_dst;
+                scratch::recycle_values(finished.locals);
                 if self.threads[thread.index()].frames.is_empty() {
                     self.finish_thread(thread, None, observer);
                     return Ok(true);
                 }
-                if let Some(dst) = finished.ret_dst {
+                if let Some(dst) = ret_dst {
                     self.set_local(thread, dst, result);
                 }
             }
@@ -1366,11 +1610,15 @@ impl<'p> Execution<'p> {
 
     fn spawn_thread(&mut self, proc: ProcId, args: Vec<Value>) -> ThreadId {
         let info = &self.program.procs[proc.index()];
-        let mut locals = vec![Value::Null; info.local_count()];
-        locals[..args.len()].clone_from_slice(&args);
         let id = ThreadId(self.threads.len() as u32);
-        self.threads
-            .push(Arc::new(ThreadState::new(id, proc, info.entry, locals)));
+        let mut state = scratch::take_thread(id, proc, info.entry, info.local_count());
+        Arc::get_mut(&mut state)
+            .expect("freshly taken thread record is unique")
+            .frame_mut()
+            .locals[..args.len()]
+            .clone_from_slice(&args);
+        scratch::recycle_values(args);
+        self.threads.push(state);
         id
     }
 
@@ -1427,10 +1675,13 @@ impl<'p> Execution<'p> {
                     }
                 }
             }
-            if self.thread_mut(thread).frames.pop().is_none() {
-                let error = ExecError::FrameUnderflow { thread };
-                self.poisoned = Some(error.clone());
-                return StepResult::EngineError(error);
+            match self.thread_mut(thread).frames.pop() {
+                Some(dead) => scratch::recycle_values(dead.locals),
+                None => {
+                    let error = ExecError::FrameUnderflow { thread };
+                    self.poisoned = Some(error.clone());
+                    return StepResult::EngineError(error);
+                }
             }
             if self.threads[thread.index()].frames.is_empty() {
                 let exception = UncaughtException {
@@ -1453,6 +1704,22 @@ impl fmt::Debug for Execution<'_> {
             .field("threads", &self.threads.len())
             .field("enabled", &self.enabled())
             .finish()
+    }
+}
+
+impl Drop for Execution<'_> {
+    /// Donates this execution's scratch buffers back to the thread-local
+    /// [`scratch`] pools — thread records still shared with a snapshot are
+    /// skipped inside [`scratch::recycle_thread`].
+    fn drop(&mut self) {
+        scratch::recycle_values(std::mem::take(&mut self.vm_temps));
+        scratch::recycle_caches(std::mem::take(&mut self.field_caches));
+        scratch::recycle_values(std::mem::take(&mut self.globals));
+        let mut threads = std::mem::take(&mut self.threads);
+        for thread in threads.drain(..) {
+            scratch::recycle_thread(thread);
+        }
+        scratch::recycle_thread_table(threads);
     }
 }
 

@@ -48,10 +48,13 @@ pub mod heap;
 pub mod locks;
 pub mod rng;
 pub mod sched;
+pub(crate) mod scratch;
 pub mod thread;
 pub mod value;
+pub mod vm;
 
 pub use event::{Access, Event, Loc, MsgId, NullObserver, Observer, RecordingObserver};
+pub use vm::ExecEngine;
 pub use exec::{ExecError, Execution, SetupError, Snapshot, StepResult};
 pub use heap::{Heap, HeapCell};
 pub use rng::Rng;

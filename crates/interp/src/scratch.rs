@@ -1,0 +1,225 @@
+//! Thread-local allocation pools for trial-scratch reuse.
+//!
+//! Phase-2 fuzzing runs millions of short executions, and in the fresh and
+//! prologue-snapshot strategies each trial builds a new [`Execution`] — so
+//! per-trial allocator traffic is the residual cost the snapshot layer
+//! cannot amortise. The steady state of a trial is already allocation-free;
+//! what remains is setup/teardown: locals buffers, the VM's temp registers,
+//! inline-cache tables, and the `Arc<ThreadState>` records themselves.
+//!
+//! This module pools those buffers in thread-local free lists. Pooling is
+//! invisible to program semantics: every `take_*` returns a buffer
+//! bit-identical to the freshly allocated one (`reset`/`clear`/`resize`
+//! reinitialise contents), and the pools are per-OS-thread, so the
+//! work-stealing trial pool never contends or exchanges buffers across
+//! workers. Recycling a [`ThreadState`] only happens when its `Arc` is
+//! uniquely owned — a record still shared with a [`crate::Snapshot`] is
+//! simply dropped and the snapshot keeps its copy.
+//!
+//! [`Execution`]: crate::Execution
+
+use crate::thread::ThreadState;
+use crate::value::{ThreadId, Value};
+use cil::flat::{InstrId, ProcId};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// Free-list depth cap — enough for the deepest call stacks the test
+/// corpus reaches while bounding worst-case hoarding.
+const MAX_POOLED: usize = 64;
+
+/// Buffers above this capacity are dropped instead of pooled, so one
+/// pathological trial cannot pin large allocations for the whole campaign.
+const MAX_POOLED_CAPACITY: usize = 1 << 12;
+
+thread_local! {
+    static VALUE_VECS: RefCell<Vec<Vec<Value>>> = const { RefCell::new(Vec::new()) };
+    static CACHE_VECS: RefCell<Vec<Vec<(u32, u32)>>> = const { RefCell::new(Vec::new()) };
+    static THREAD_STATES: RefCell<Vec<Arc<ThreadState>>> = const { RefCell::new(Vec::new()) };
+    static THREAD_VECS: RefCell<Vec<Vec<Arc<ThreadState>>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An empty `Vec<Arc<ThreadState>>` (an execution's thread table),
+/// recycled when possible.
+pub(crate) fn take_thread_table() -> Vec<Arc<ThreadState>> {
+    THREAD_VECS
+        .with(|pool| pool.borrow_mut().pop())
+        .unwrap_or_default()
+}
+
+/// Returns a drained thread table's backing storage to the pool.
+pub(crate) fn recycle_thread_table(mut vec: Vec<Arc<ThreadState>>) {
+    if vec.capacity() == 0 || vec.capacity() > MAX_POOLED_CAPACITY {
+        return;
+    }
+    vec.clear();
+    THREAD_VECS.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            pool.push(vec);
+        }
+    });
+}
+
+/// A `vec![Value::Null; len]`, recycled when possible.
+pub(crate) fn take_values(len: usize) -> Vec<Value> {
+    match VALUE_VECS.with(|pool| pool.borrow_mut().pop()) {
+        Some(mut vec) => {
+            vec.clear();
+            vec.resize(len, Value::Null);
+            vec
+        }
+        None => vec![Value::Null; len],
+    }
+}
+
+/// A `Vec::with_capacity(capacity)` of values, recycled when possible
+/// (argument-marshalling scratch).
+pub(crate) fn take_value_buffer(capacity: usize) -> Vec<Value> {
+    match VALUE_VECS.with(|pool| pool.borrow_mut().pop()) {
+        Some(mut vec) => {
+            vec.clear();
+            vec.reserve(capacity);
+            vec
+        }
+        None => Vec::with_capacity(capacity),
+    }
+}
+
+/// Returns a value buffer to the pool, dropping its contents now.
+pub(crate) fn recycle_values(mut vec: Vec<Value>) {
+    if vec.capacity() == 0 || vec.capacity() > MAX_POOLED_CAPACITY {
+        return;
+    }
+    vec.clear();
+    VALUE_VECS.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            pool.push(vec);
+        }
+    });
+}
+
+/// A `vec![fill; len]` inline-cache table, recycled when possible.
+pub(crate) fn take_caches(len: usize, fill: (u32, u32)) -> Vec<(u32, u32)> {
+    match CACHE_VECS.with(|pool| pool.borrow_mut().pop()) {
+        Some(mut vec) => {
+            vec.clear();
+            vec.resize(len, fill);
+            vec
+        }
+        None => vec![fill; len],
+    }
+}
+
+/// Returns an inline-cache table to the pool.
+pub(crate) fn recycle_caches(mut vec: Vec<(u32, u32)>) {
+    if vec.capacity() == 0 || vec.capacity() > MAX_POOLED_CAPACITY {
+        return;
+    }
+    vec.clear();
+    CACHE_VECS.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            pool.push(vec);
+        }
+    });
+}
+
+/// An `Arc<ThreadState>` equivalent to
+/// `Arc::new(ThreadState::new(id, proc, pc, vec![Value::Null; local_count]))`,
+/// reusing a pooled record (the `Arc` allocation, its frame stack, and its
+/// locals buffer) when one is available.
+pub(crate) fn take_thread(
+    id: ThreadId,
+    proc: ProcId,
+    pc: InstrId,
+    local_count: usize,
+) -> Arc<ThreadState> {
+    if let Some(mut arc) = THREAD_STATES.with(|pool| pool.borrow_mut().pop()) {
+        if let Some(state) = Arc::get_mut(&mut arc) {
+            state.reset(id, proc, pc, local_count);
+            return arc;
+        }
+    }
+    Arc::new(ThreadState::new(id, proc, pc, take_values(local_count)))
+}
+
+/// Offers a thread record back to the pool. Only uniquely owned records are
+/// pooled — one still shared with a snapshot is dropped normally (the
+/// snapshot keeps the data). Pooled records are scrubbed immediately so
+/// they do not pin heap values between trials; surplus frames donate their
+/// locals buffers to the value pool.
+pub(crate) fn recycle_thread(mut arc: Arc<ThreadState>) {
+    let Some(state) = Arc::get_mut(&mut arc) else {
+        return;
+    };
+    while state.frames.len() > 1 {
+        let frame = state.frames.pop().expect("len checked");
+        recycle_values(frame.locals);
+    }
+    state.reset(ThreadId(0), ProcId(0), InstrId(0), 0);
+    THREAD_STATES.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            pool.push(arc);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_vecs_round_trip_reinitialised() {
+        let mut vec = take_values(3);
+        assert_eq!(vec, vec![Value::Null; 3]);
+        vec[1] = Value::Int(7);
+        let capacity = vec.capacity();
+        recycle_values(vec);
+        // The pooled buffer comes back scrubbed and resized.
+        let again = take_values(2);
+        assert_eq!(again, vec![Value::Null; 2]);
+        assert!(again.capacity() >= capacity.min(2));
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_pooled() {
+        recycle_values(Vec::with_capacity(MAX_POOLED_CAPACITY + 1));
+        // No panic, nothing retained beyond the cap: just exercise the path.
+        let vec = take_values(1);
+        assert!(vec.capacity() <= MAX_POOLED_CAPACITY || vec.len() == 1);
+    }
+
+    #[test]
+    fn shared_thread_records_are_not_pooled() {
+        let arc = take_thread(ThreadId(3), ProcId(0), InstrId(0), 2);
+        let keep = Arc::clone(&arc);
+        recycle_thread(arc); // shared: dropped, not pooled
+        assert_eq!(keep.id, ThreadId(3));
+        let fresh = take_thread(ThreadId(1), ProcId(0), InstrId(0), 1);
+        assert_eq!(fresh.id, ThreadId(1));
+        assert_eq!(fresh.frames.len(), 1);
+        assert_eq!(fresh.frame().locals, vec![Value::Null; 1]);
+    }
+
+    #[test]
+    fn recycled_thread_records_come_back_reset() {
+        let mut arc = take_thread(ThreadId(2), ProcId(1), InstrId(5), 4);
+        {
+            let state = Arc::get_mut(&mut arc).unwrap();
+            state.frame_mut().locals[0] = Value::Int(9);
+            state.push_hold(crate::value::ObjId(1), 2);
+            state.interrupted = true;
+        }
+        recycle_thread(arc);
+        let again = take_thread(ThreadId(0), ProcId(2), InstrId(1), 4);
+        assert_eq!(again.id, ThreadId(0));
+        assert_eq!(again.frame().proc, ProcId(2));
+        assert_eq!(again.frame().pc, InstrId(1));
+        assert_eq!(again.frame().locals, vec![Value::Null; 4]);
+        assert!(!again.interrupted);
+        assert!(again.held.is_empty());
+    }
+}

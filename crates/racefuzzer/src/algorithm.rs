@@ -125,6 +125,17 @@ pub(crate) fn fuzz_once_session<'p>(
     }
     let exec = exec_slot.as_mut().expect("installed above");
     exec.set_heap_budget(config.max_heap_cells);
+    exec.set_engine(config.engine);
+
+    // The race set is probed once per scheduler decision (and once per
+    // statement under `switch_only_at_sync`); a sorted inline slice beats
+    // pointer-chasing a `BTreeSet` node for the two-statement sets every
+    // pair-targeted trial uses.
+    let race_list: Vec<InstrId> = race_set.iter().copied().collect();
+    let in_race_set = |instr: InstrId| race_list.binary_search(&instr).is_ok();
+    // Per-pc "return control to the scheduler here" byte, probed once per
+    // statement by the §4 run-until-sync inner loop.
+    let stop_mask = exec.stop_mask(&race_list);
 
     let mut rng = Rng::seeded(config.seed);
     let mut draws: u64 = 0;
@@ -196,9 +207,17 @@ pub(crate) fn fuzz_once_session<'p>(
         postponed.retain(|&(thread, _)| exec.is_enabled(thread));
 
         candidates.clear();
-        candidates.extend(enabled.iter().copied().filter(|thread| {
-            exec.is_enabled(*thread) && postponed.iter().all(|&(held, _)| held != *thread)
-        }));
+        if expired.is_empty() && postponed.is_empty() {
+            // Nothing was evicted (so nothing stepped since `enabled_into`)
+            // and the postponed set is empty: every enabled thread is a
+            // candidate. This is the steady state of a padded loop, and the
+            // re-checks below are pure overhead there.
+            candidates.extend_from_slice(enabled);
+        } else {
+            candidates.extend(enabled.iter().copied().filter(|thread| {
+                exec.is_enabled(*thread) && postponed.iter().all(|&(held, _)| held != *thread)
+            }));
+        }
         if candidates.is_empty() {
             if postponed.is_empty() {
                 // The livelock monitor just ran every enabled thread.
@@ -223,7 +242,7 @@ pub(crate) fn fuzz_once_session<'p>(
             cache,
         )];
         let next = exec.next_instr(chosen);
-        let targeted = next.is_some_and(|instr| race_set.contains(&instr));
+        let targeted = next.is_some_and(&in_race_set);
 
         if !targeted {
             // Line 24: the common case.
@@ -231,17 +250,10 @@ pub(crate) fn fuzz_once_session<'p>(
             // §4 optimisation: keep the thread running until the next
             // synchronization operation or RaceSet statement.
             if config.switch_only_at_sync {
-                while exec.steps() < config.max_steps
-                    && exec.is_enabled(chosen)
-                    && exec.engine_error().is_none()
-                {
-                    let Some(instr) = exec.next_instr(chosen) else {
-                        break; // resuming from a wait: a sync point
-                    };
-                    if race_set.contains(&instr) || exec.program().instr(instr).is_sync_op() {
-                        break;
-                    }
-                    step(exec, chosen, &mut schedule, &mut observer);
+                let ran =
+                    exec.run_quiescent(chosen, &stop_mask, config.max_steps, &mut observer);
+                if let Some(trace) = &mut schedule {
+                    trace.extend(std::iter::repeat_n(chosen, ran as usize));
                 }
             }
         } else {
@@ -299,6 +311,11 @@ pub(crate) fn fuzz_once_session<'p>(
 
         // Line 26: all enabled threads postponed → release one at random
         // and run its pending statement so the schedule makes progress.
+        // With nothing postponed the condition cannot hold and no draw is
+        // made, so the re-scan is skipped outright.
+        if postponed.is_empty() {
+            continue;
+        }
         exec.enabled_into(enabled);
         if !enabled.is_empty()
             && enabled
@@ -371,7 +388,10 @@ fn step(
     if let Some(trace) = schedule {
         trace.push(thread);
     }
-    let result = exec.step(thread, observer);
+    // Every call site has just verified enabledness (the helper has always
+    // asserted as much below), so the re-check inside `Execution::step` is
+    // pure per-statement overhead.
+    let result = exec.step_enabled(thread, observer);
     debug_assert!(
         result != interp::StepResult::NotEnabled,
         "scheduler stepped a disabled thread"
