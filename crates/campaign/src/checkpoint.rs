@@ -508,6 +508,12 @@ mod tests {
                     attempts: 0,
                     reason: QuarantineReason::StaticallyPruned(PruneReason::MhpImpossible),
                 },
+                QuarantinedPair {
+                    pair,
+                    seed: 2,
+                    attempts: 0,
+                    reason: QuarantineReason::StaticallyPruned(PruneReason::FootprintNoAlias),
+                },
             ],
             soundness_bugs: vec!["pair #2/#9 confirmed but refuted".to_owned()],
             failures: vec![TrialFailure {

@@ -44,6 +44,7 @@
 use crate::ast::{BinOp, UnOp};
 use crate::flat::{Const, GlobalId, Instr, InstrId, LocalId, Program};
 use crate::intern::Symbol;
+use std::fmt;
 
 /// A read-only operand of a micro-op: a frame slot, a per-step temporary,
 /// or an immediate. Reading an operand is side-effect-free and cannot
@@ -232,6 +233,18 @@ pub enum FootprintIdx {
     Expr,
 }
 
+impl FootprintIdx {
+    /// Whether two element indices could evaluate to the same value in
+    /// some execution. Only two *distinct* compile-time constants are
+    /// refutable; a register or compound index can hold anything.
+    pub fn may_equal(self, other: FootprintIdx) -> bool {
+        match (self, other) {
+            (FootprintIdx::Const(a), FootprintIdx::Const(b)) => a == b,
+            _ => true,
+        }
+    }
+}
+
 /// The precomputed answer to "which shared location would this pc touch?"
 /// — everything `next_access` needs short of the dynamic register values.
 ///
@@ -274,6 +287,102 @@ pub enum Footprint {
     },
 }
 
+impl Footprint {
+    /// The footprint as an [`AbstractAccess`], or `None` for
+    /// [`Footprint::None`]. This is the static-analysis view: same shape
+    /// as the dynamic resolver consumes, minus the inline-cache slot.
+    pub fn access(&self) -> Option<AbstractAccess> {
+        match *self {
+            Footprint::None => None,
+            Footprint::Global { global, is_write } => Some(AbstractAccess {
+                place: AbstractPlace::Global(global),
+                is_write,
+            }),
+            Footprint::Field {
+                obj, field, is_write, ..
+            } => Some(AbstractAccess {
+                place: AbstractPlace::Field { obj, field },
+                is_write,
+            }),
+            Footprint::Elem { arr, idx, is_write } => Some(AbstractAccess {
+                place: AbstractPlace::Elem { arr, idx },
+                is_write,
+            }),
+        }
+    }
+}
+
+/// The location part of an [`AbstractAccess`]: which shared place an
+/// instruction touches, named by static ids and the registers the dynamic
+/// resolution reads. Base registers (`obj`/`arr`) are per-procedure frame
+/// slots; interpreting them across procedures needs an external points-to
+/// oracle, which is why [`AbstractAccess::may_alias_with`] takes one.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AbstractPlace {
+    /// A global variable.
+    Global(GlobalId),
+    /// A field of the object held in frame slot `obj`.
+    Field {
+        /// Slot holding the receiver.
+        obj: LocalId,
+        /// The field.
+        field: Symbol,
+    },
+    /// An element of the array held in frame slot `arr`.
+    Elem {
+        /// Slot holding the array.
+        arr: LocalId,
+        /// How the index is recovered.
+        idx: FootprintIdx,
+    },
+}
+
+/// One shared-memory access an instruction performs, in footprint terms.
+/// The stable view static analyses consume ([`CodeImage::accesses_of`]):
+/// derived from the same per-pc table the dynamic would-it-race query
+/// reads, so "what does this statement touch" has one source of truth.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AbstractAccess {
+    /// The shared place touched.
+    pub place: AbstractPlace,
+    /// `true` for a store.
+    pub is_write: bool,
+}
+
+impl AbstractAccess {
+    /// Whether two accesses could touch the same dynamic location, given
+    /// `bases_overlap(a, b)` answering whether the objects in frame slots
+    /// `a` (of `self`'s procedure) and `b` (of `other`'s) may be the same.
+    ///
+    /// Refutation logic, conservative in every unknown:
+    /// * different place kinds never alias (a global cell is not a field
+    ///   is not an element);
+    /// * globals alias iff they are the same global;
+    /// * fields alias only if the field names match *and* the receivers
+    ///   may overlap;
+    /// * elements alias only if the arrays may overlap *and* the indices
+    ///   [`may_equal`](FootprintIdx::may_equal) — two distinct constant
+    ///   indices are distinct cells even in the same array.
+    pub fn may_alias_with(
+        &self,
+        other: &AbstractAccess,
+        mut bases_overlap: impl FnMut(LocalId, LocalId) -> bool,
+    ) -> bool {
+        match (self.place, other.place) {
+            (AbstractPlace::Global(a), AbstractPlace::Global(b)) => a == b,
+            (
+                AbstractPlace::Field { obj: a, field: fa },
+                AbstractPlace::Field { obj: b, field: fb },
+            ) => fa == fb && bases_overlap(a, b),
+            (
+                AbstractPlace::Elem { arr: a, idx: ia },
+                AbstractPlace::Elem { arr: b, idx: ib },
+            ) => ia.may_equal(ib) && bases_overlap(a, b),
+            _ => false,
+        }
+    }
+}
+
 /// Why a runnable thread at this pc might not be enabled. Everything but
 /// `lock`/`join` is unconditionally enabled, so `Enabled(s)` needs only
 /// this two-bit answer plus at most one register read.
@@ -291,6 +400,31 @@ pub enum EnabledKind {
 /// Per-pc flag bits (see [`CodeImage::is_sync`]).
 const FLAG_SYNC: u8 = 1 << 0;
 const FLAG_MEMORY: u8 = 1 << 1;
+
+/// A program whose micro-op stream overflows the image's `u32` index
+/// space (`CodeImage::starts` entries). Returned by
+/// [`CodeImage::try_compile`] instead of silently truncating op offsets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ImageLimitError {
+    /// The op count that no longer fits in a `u32` offset.
+    pub ops: usize,
+    /// The source instruction being compiled when the limit was hit.
+    pub at: InstrId,
+}
+
+impl fmt::Display for ImageLimitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "program too large for bytecode image: {} micro-ops at instruction {} \
+             exceed the u32 offset space",
+            self.ops,
+            self.at.index()
+        )
+    }
+}
+
+impl std::error::Error for ImageLimitError {}
 
 /// A compiled program image: flat micro-ops plus the per-pc footprint,
 /// enabledness, and flag tables. Built once per [`Program`] (cached behind
@@ -311,7 +445,17 @@ pub struct CodeImage {
 
 impl CodeImage {
     /// Compiles `program` into a bytecode image.
+    ///
+    /// Panics with the [`ImageLimitError`] message if the program's
+    /// micro-op stream overflows the image's `u32` index space; use
+    /// [`CodeImage::try_compile`] to handle that as a value.
     pub fn compile(program: &Program) -> CodeImage {
+        Self::try_compile(program).unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// [`CodeImage::compile`], surfacing the oversized-program case as a
+    /// typed error instead of a panic.
+    pub fn try_compile(program: &Program) -> Result<CodeImage, ImageLimitError> {
         Self::compile_with(program, true)
     }
 
@@ -321,10 +465,10 @@ impl CodeImage {
     /// observable semantics, strictly more dispatches — the baseline the
     /// `dispatch_ops` micro-bench compares fusion against.
     pub fn compile_unfused(program: &Program) -> CodeImage {
-        Self::compile_with(program, false)
+        Self::compile_with(program, false).unwrap_or_else(|error| panic!("{error}"))
     }
 
-    fn compile_with(program: &Program, fuse: bool) -> CodeImage {
+    fn compile_with(program: &Program, fuse: bool) -> Result<CodeImage, ImageLimitError> {
         let mut compiler = Compiler {
             ops: Vec::with_capacity(program.instr_count() * 2),
             pool: Vec::new(),
@@ -339,8 +483,12 @@ impl CodeImage {
         let mut footprints = Vec::with_capacity(count);
         let mut enabled_kinds = Vec::with_capacity(count);
         let mut flags = Vec::with_capacity(count);
-        for instr in &program.instrs {
-            starts.push(compiler.ops.len() as u32);
+        for (index, instr) in program.instrs.iter().enumerate() {
+            let start = u32::try_from(compiler.ops.len()).map_err(|_| ImageLimitError {
+                ops: compiler.ops.len(),
+                at: InstrId(index as u32),
+            })?;
+            starts.push(start);
             compiler.temp_next = 0;
             let footprint = compiler.footprint_of(instr);
             compiler.compile_instr(instr, &footprint);
@@ -359,8 +507,12 @@ impl CodeImage {
             }
             flags.push(flag);
         }
-        starts.push(compiler.ops.len() as u32);
-        CodeImage {
+        let end = u32::try_from(compiler.ops.len()).map_err(|_| ImageLimitError {
+            ops: compiler.ops.len(),
+            at: InstrId(count.saturating_sub(1) as u32),
+        })?;
+        starts.push(end);
+        Ok(CodeImage {
             ops: compiler.ops,
             starts,
             footprints,
@@ -370,7 +522,7 @@ impl CodeImage {
             cache_sites: compiler.cache_sites,
             max_temps: compiler.max_temps,
             fused: compiler.fused,
-        }
+        })
     }
 
     /// The micro-ops of one source instruction.
@@ -405,6 +557,40 @@ impl CodeImage {
     #[inline]
     pub fn is_memory_access(&self, pc: InstrId) -> bool {
         self.flags[pc.index()] & FLAG_MEMORY != 0
+    }
+
+    /// Every shared-memory access the instruction performs, in footprint
+    /// terms — the single source of truth static analyses consume.
+    ///
+    /// The head access comes from the footprint table (authoritative even
+    /// for [`Op::Fallback`] ranges, whose op carries no operands). The op
+    /// range is then swept for any further memory-touching micro-op: the
+    /// flat IR lowers every statement to at most one access today, so the
+    /// sweep only de-duplicates the head, but it keeps this view a
+    /// structural superset if fusion ever embeds a second access.
+    pub fn accesses_of(&self, pc: InstrId) -> Vec<AbstractAccess> {
+        let mut accesses = Vec::new();
+        if let Some(head) = self.footprint(pc).access() {
+            accesses.push(head);
+        }
+        for op in self.ops_of(pc) {
+            if let Some(access) = op_access(op) {
+                if !accesses.contains(&access) {
+                    accesses.push(access);
+                }
+            }
+        }
+        accesses
+    }
+
+    /// All pcs flagged as shared-memory accesses (mirrors
+    /// [`Program::memory_access_instrs`] as a flag-table scan).
+    pub fn memory_access_pcs(&self) -> impl Iterator<Item = InstrId> + '_ {
+        self.flags
+            .iter()
+            .enumerate()
+            .filter(|(_, flag)| **flag & FLAG_MEMORY != 0)
+            .map(|(index, _)| InstrId(index as u32))
     }
 
     /// A constant-pool entry.
@@ -725,6 +911,42 @@ impl Compiler {
     }
 }
 
+/// The access a single micro-op performs, if any. Element indices carried
+/// as op [`RValue`]s map onto the same [`FootprintIdx`] modes the
+/// footprint table uses, so op-derived and footprint-derived accesses of
+/// one instruction compare equal.
+fn op_access(op: &Op) -> Option<AbstractAccess> {
+    let (place, is_write) = match op {
+        Op::LoadGlobal { global, .. } => (AbstractPlace::Global(*global), false),
+        Op::StoreGlobal { global, .. } => (AbstractPlace::Global(*global), true),
+        Op::LoadField { obj, field, .. } => {
+            (AbstractPlace::Field { obj: *obj, field: *field }, false)
+        }
+        Op::StoreField { obj, field, .. } => {
+            (AbstractPlace::Field { obj: *obj, field: *field }, true)
+        }
+        Op::LoadElem { arr, idx, .. } => (
+            AbstractPlace::Elem { arr: *arr, idx: rvalue_idx(idx) },
+            false,
+        ),
+        Op::StoreElem { arr, idx, .. } => (
+            AbstractPlace::Elem { arr: *arr, idx: rvalue_idx(idx) },
+            true,
+        ),
+        _ => return None,
+    };
+    Some(AbstractAccess { place, is_write })
+}
+
+/// [`FootprintIdx`] mode of an element index carried inline in a head op.
+fn rvalue_idx(idx: &RValue) -> FootprintIdx {
+    match idx {
+        RValue::Op(Operand::Int(value)) => FootprintIdx::Const(*value),
+        RValue::Op(Operand::Local(slot)) => FootprintIdx::Local(LocalId(*slot)),
+        _ => FootprintIdx::Expr,
+    }
+}
+
 fn footprint_idx(idx: &crate::flat::PureExpr) -> FootprintIdx {
     use crate::flat::PureExpr;
     match idx {
@@ -1028,6 +1250,122 @@ mod tests {
         let pooled = image.pool.len();
         assert_eq!(pooled, 2, "identical strings share one pool slot");
         assert!(program.instr_count() > 0);
+    }
+
+    #[test]
+    fn accesses_of_agrees_with_footprints_and_ops() {
+        let (program, image) = image(
+            r#"
+            class Point { x, y }
+            global g = 0;
+            global arr;
+            proc main() {
+                var p = new Point;
+                arr = new [4];
+                var ar = arr;
+                var i = 1;
+                @fw p.x = 5;
+                @ew ar[i] = 7;
+                @cplx ar[(i + 1) * 2] = 9;
+                @c0 var a = ar[0];
+                @gw g = a;
+            }
+            "#,
+        );
+        for pc in program.memory_access_instrs() {
+            let accesses = image.accesses_of(pc);
+            // One access per instruction (flat-IR invariant), and the op
+            // sweep must agree with the footprint head, not add a second
+            // divergent entry.
+            assert_eq!(
+                accesses.len(),
+                1,
+                "{pc:?} ({:?}) must have exactly one access, got {accesses:?}",
+                program.instr(pc)
+            );
+            assert_eq!(Some(accesses[0]), image.footprint(pc).access());
+        }
+        // Non-accesses have empty access sets.
+        for index in 0..program.instr_count() {
+            let pc = InstrId(index as u32);
+            if !image.is_memory_access(pc) {
+                assert!(image.accesses_of(pc).is_empty());
+            }
+        }
+        // The fallback range still reports its access from the footprint.
+        let cplx = program.tagged_access("cplx");
+        assert!(matches!(image.ops_of(cplx), [Op::Fallback]));
+        assert!(matches!(
+            image.accesses_of(cplx)[0],
+            AbstractAccess {
+                place: AbstractPlace::Elem { idx: FootprintIdx::Expr, .. },
+                is_write: true,
+            }
+        ));
+        // Constant-index mode survives into the view.
+        let c0 = program.tagged_access("c0");
+        assert!(matches!(
+            image.accesses_of(c0)[0].place,
+            AbstractPlace::Elem { idx: FootprintIdx::Const(0), .. }
+        ));
+        let pcs: Vec<_> = image.memory_access_pcs().collect();
+        let expected: Vec<_> = program.memory_access_instrs().collect();
+        assert_eq!(pcs, expected);
+    }
+
+    #[test]
+    fn index_may_equal_refutes_distinct_constants_only() {
+        use FootprintIdx::*;
+        assert!(!Const(0).may_equal(Const(1)));
+        assert!(Const(3).may_equal(Const(3)));
+        assert!(Const(0).may_equal(Local(LocalId(2))));
+        assert!(Local(LocalId(0)).may_equal(Local(LocalId(0))));
+        assert!(Expr.may_equal(Const(5)));
+    }
+
+    #[test]
+    fn may_alias_with_separates_place_kinds_and_indices() {
+        let field_x = AbstractAccess {
+            place: AbstractPlace::Field {
+                obj: LocalId(0),
+                field: Symbol(0),
+            },
+            is_write: true,
+        };
+        let global = AbstractAccess {
+            place: AbstractPlace::Global(GlobalId(0)),
+            is_write: true,
+        };
+        // Different kinds never alias, whatever the base oracle says.
+        assert!(!field_x.may_alias_with(&global, |_, _| true));
+        // Field aliasing needs both the name match and base overlap.
+        assert!(field_x.may_alias_with(&field_x, |_, _| true));
+        assert!(!field_x.may_alias_with(&field_x, |_, _| false));
+        let elem = |idx| AbstractAccess {
+            place: AbstractPlace::Elem { arr: LocalId(1), idx },
+            is_write: false,
+        };
+        assert!(!elem(FootprintIdx::Const(0))
+            .may_alias_with(&elem(FootprintIdx::Const(1)), |_, _| true));
+        assert!(elem(FootprintIdx::Const(0))
+            .may_alias_with(&elem(FootprintIdx::Const(0)), |_, _| true));
+        assert!(elem(FootprintIdx::Const(0))
+            .may_alias_with(&elem(FootprintIdx::Local(LocalId(9))), |_, _| true));
+    }
+
+    #[test]
+    fn try_compile_accepts_normal_programs() {
+        let program = crate::compile("proc main() { var i = 0; i = i + 1; }")
+            .expect("compiles");
+        let image = CodeImage::try_compile(&program).expect("fits in u32 space");
+        assert!(image.op_count() > 0);
+        let error = ImageLimitError {
+            ops: usize::MAX,
+            at: InstrId(7),
+        };
+        let message = error.to_string();
+        assert!(message.contains("too large"), "got: {message}");
+        assert!(message.contains("instruction 7"), "got: {message}");
     }
 
     #[test]

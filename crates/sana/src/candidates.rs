@@ -34,12 +34,19 @@ pub struct CandidateStats {
     pub refuted_common_lock: usize,
     /// Conflicting pairs refuted by thread confinement.
     pub refuted_confined: usize,
+    /// Conflicting pairs refuted by provably non-aliasing footprints.
+    /// Structurally zero here: the conflict test and the footprint
+    /// refutation are the same [`StaticRaceFilter::may_alias`] predicate,
+    /// so a non-aliasing pair is never counted as conflicting. Kept so the
+    /// stats stay exhaustive over [`PruneReason`].
+    pub refuted_footprint: usize,
 }
 
 impl CandidateStats {
     /// Total refuted conflicting pairs.
     pub fn refuted(&self) -> usize {
         self.refuted_mhp + self.refuted_common_lock + self.refuted_confined
+            + self.refuted_footprint
     }
 }
 
@@ -63,7 +70,13 @@ impl StaticCandidateReport {
 /// Enumerates all statically conflicting access pairs the filter cannot
 /// refute.
 pub fn generate(program: &Program, filter: &StaticRaceFilter) -> StaticCandidateReport {
-    let accesses: Vec<_> = program.memory_access_instrs().collect();
+    // The access universe and the write test come from the bytecode
+    // image's footprint table — the same per-pc view the dynamic
+    // would-it-race query resolves — so Phase 1 and Phase 2 agree on
+    // "what does this statement touch" by construction.
+    let image = program.bytecode();
+    let accesses: Vec<_> = image.memory_access_pcs().collect();
+    let writes = |pc| image.accesses_of(pc).iter().any(|access| access.is_write);
     let mut stats = CandidateStats {
         accesses: accesses.len(),
         ..CandidateStats::default()
@@ -71,9 +84,7 @@ pub fn generate(program: &Program, filter: &StaticRaceFilter) -> StaticCandidate
     let mut candidates: BTreeSet<RacePair> = BTreeSet::new();
     for (position, &a) in accesses.iter().enumerate() {
         for &b in &accesses[position..] {
-            let writes =
-                program.instr(a).is_memory_write() || program.instr(b).is_memory_write();
-            if !writes || !filter.may_alias(program, a, b) {
+            if (!writes(a) && !writes(b)) || !filter.may_alias(program, a, b) {
                 continue;
             }
             stats.conflicting += 1;
@@ -85,6 +96,7 @@ pub fn generate(program: &Program, filter: &StaticRaceFilter) -> StaticCandidate
                 Some(PruneReason::MhpImpossible) => stats.refuted_mhp += 1,
                 Some(PruneReason::CommonLock) => stats.refuted_common_lock += 1,
                 Some(PruneReason::ThreadConfined) => stats.refuted_confined += 1,
+                Some(PruneReason::FootprintNoAlias) => stats.refuted_footprint += 1,
             }
         }
     }
@@ -171,6 +183,32 @@ mod tests {
         );
         let w = program.tagged_access("w");
         assert!(report.contains(&RacePair::new(w, w)));
+    }
+
+    #[test]
+    fn distinct_constant_indices_are_not_conflicts() {
+        let (program, report) = report_for(
+            r#"
+            global arr;
+            proc worker() {
+                var a = arr;
+                @w0 a[0] = 1;
+                @w1 a[1] = 2;
+            }
+            proc main() {
+                arr = new [4];
+                var a = arr;
+                var t = spawn worker();
+                @m0 a[0] = 3;
+                join t;
+            }
+            "#,
+        );
+        let at = |tag: &str| program.tagged_access(tag);
+        // Same constant cell across threads: a real candidate.
+        assert!(report.contains(&RacePair::new(at("w0"), at("m0"))));
+        // Distinct constant cells: not even a conflict, so never generated.
+        assert!(!report.contains(&RacePair::new(at("w1"), at("m0"))));
     }
 
     #[test]

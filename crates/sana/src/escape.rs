@@ -24,6 +24,7 @@
 
 use std::collections::VecDeque;
 
+use cil::bytecode::AbstractPlace;
 use cil::flat::{Instr, InstrId, LocalId};
 use cil::Program;
 
@@ -89,19 +90,27 @@ impl EscapeAnalysis {
 
     /// Is `id` a field/element access whose base object certainly never
     /// escapes its creating thread? Such accesses cannot race: only the
-    /// allocating thread can ever reach the object.
+    /// allocating thread can ever reach the object. The base register
+    /// comes from the bytecode footprint table — the shared access view.
     pub fn confined_access(&self, program: &Program, cfg: &Cfg, pts: &PointsTo, id: InstrId) -> bool {
-        let base: Option<LocalId> = match program.instr(id) {
-            Instr::LoadField { obj, .. } | Instr::StoreField { obj, .. } => Some(*obj),
-            Instr::LoadElem { arr, .. } | Instr::StoreElem { arr, .. } => Some(*arr),
-            // Globals are shared by definition.
-            _ => None,
-        };
-        let Some(base) = base else { return false };
-        let set = pts.local(cfg.owner(id), base);
-        !set.unknown
-            && !set.sites.is_empty()
-            && set.sites.iter().all(|site| !self.escapes(*site))
+        let accesses = program.bytecode().accesses_of(id);
+        if accesses.is_empty() {
+            return false;
+        }
+        // Every access must be through a confined base (globals are shared
+        // by definition, so any global access defeats confinement).
+        accesses.iter().all(|access| {
+            let base: Option<LocalId> = match access.place {
+                AbstractPlace::Field { obj, .. } => Some(obj),
+                AbstractPlace::Elem { arr, .. } => Some(arr),
+                AbstractPlace::Global(_) => None,
+            };
+            let Some(base) = base else { return false };
+            let set = pts.local(cfg.owner(id), base);
+            !set.unknown
+                && !set.sites.is_empty()
+                && set.sites.iter().all(|site| !self.escapes(*site))
+        })
     }
 }
 

@@ -32,6 +32,11 @@ pub enum PruneReason {
     /// A statement's base object never escapes its creating thread, so no
     /// second thread can touch the location.
     ThreadConfined,
+    /// The statements' access footprints provably never name the same
+    /// dynamic location (disjoint place kinds, distinct globals or field
+    /// names, non-overlapping points-to bases, or distinct constant
+    /// element indices).
+    FootprintNoAlias,
 }
 
 impl PruneReason {
@@ -41,6 +46,7 @@ impl PruneReason {
             PruneReason::MhpImpossible => "mhp-impossible",
             PruneReason::CommonLock => "common-lock",
             PruneReason::ThreadConfined => "thread-confined",
+            PruneReason::FootprintNoAlias => "footprint-no-alias",
         }
     }
 
@@ -50,6 +56,7 @@ impl PruneReason {
             "mhp-impossible" => Some(PruneReason::MhpImpossible),
             "common-lock" => Some(PruneReason::CommonLock),
             "thread-confined" => Some(PruneReason::ThreadConfined),
+            "footprint-no-alias" => Some(PruneReason::FootprintNoAlias),
             _ => None,
         }
     }
@@ -72,6 +79,8 @@ pub struct FilterStats {
     pub pruned_common_lock: usize,
     /// Pruned because the touched object is confined to one thread.
     pub pruned_confined: usize,
+    /// Pruned because the access footprints provably never alias.
+    pub pruned_footprint: usize,
     /// Pairs that survived for Phase 2.
     pub kept: usize,
 }
@@ -79,7 +88,7 @@ pub struct FilterStats {
 impl FilterStats {
     /// Total pruned pairs.
     pub fn pruned(&self) -> usize {
-        self.pruned_mhp + self.pruned_common_lock + self.pruned_confined
+        self.pruned_mhp + self.pruned_common_lock + self.pruned_confined + self.pruned_footprint
     }
 
     /// Pruned fraction in `[0, 1]` (0 when no candidates).
@@ -97,6 +106,7 @@ impl FilterStats {
             Some(PruneReason::MhpImpossible) => self.pruned_mhp += 1,
             Some(PruneReason::CommonLock) => self.pruned_common_lock += 1,
             Some(PruneReason::ThreadConfined) => self.pruned_confined += 1,
+            Some(PruneReason::FootprintNoAlias) => self.pruned_footprint += 1,
             None => self.kept += 1,
         }
     }
@@ -192,37 +202,42 @@ impl StaticRaceFilter {
             return Some(PruneReason::ThreadConfined);
         }
 
+        // Footprints that provably never name the same dynamic location —
+        // including two distinct constant element indices, which are
+        // distinct cells even in the same array. Sound because a race
+        // requires one location: the dynamic detector's `Loc` is
+        // element-index-precise, so a confirmable pair always aliases.
+        if !self.may_alias(program, a, b) {
+            return Some(PruneReason::FootprintNoAlias);
+        }
+
         None
     }
 
-    /// May the two instructions touch the same memory location? `true` when
-    /// both are shared accesses of the same shape (same global; same field
-    /// name with overlapping base points-to sets; element accesses with
-    /// overlapping bases). Non-memory instructions never alias.
+    /// May the two instructions touch the same memory location? Driven by
+    /// the [`CodeImage`](cil::bytecode::CodeImage) footprint table — the
+    /// same per-pc access view the dynamic scheduler resolves — with base
+    /// registers interpreted through Andersen points-to: `true` when some
+    /// access of `a` and some access of `b` name the same place kind with
+    /// the same global / same field name over overlapping bases /
+    /// possibly-equal element indices over overlapping bases. Non-memory
+    /// instructions never alias.
     pub fn may_alias(&self, program: &Program, a: InstrId, b: InstrId) -> bool {
-        use cil::flat::Instr;
-        let base_overlap = |oa: cil::flat::LocalId, ob: cil::flat::LocalId| {
-            let sa = self.points_to.local(self.cfg.owner(a), oa);
-            let sb = self.points_to.local(self.cfg.owner(b), ob);
-            sa.may_overlap(sb)
-        };
-        match (program.instr(a), program.instr(b)) {
-            (
-                Instr::LoadGlobal { global: ga, .. } | Instr::StoreGlobal { global: ga, .. },
-                Instr::LoadGlobal { global: gb, .. } | Instr::StoreGlobal { global: gb, .. },
-            ) => ga == gb,
-            (
-                Instr::LoadField { obj: oa, field: fa, .. }
-                | Instr::StoreField { obj: oa, field: fa, .. },
-                Instr::LoadField { obj: ob, field: fb, .. }
-                | Instr::StoreField { obj: ob, field: fb, .. },
-            ) => fa == fb && base_overlap(*oa, *ob),
-            (
-                Instr::LoadElem { arr: oa, .. } | Instr::StoreElem { arr: oa, .. },
-                Instr::LoadElem { arr: ob, .. } | Instr::StoreElem { arr: ob, .. },
-            ) => base_overlap(*oa, *ob),
-            _ => false,
+        let image = program.bytecode();
+        let accesses_a = image.accesses_of(a);
+        if accesses_a.is_empty() {
+            return false;
         }
+        let accesses_b = image.accesses_of(b);
+        accesses_a.iter().any(|access_a| {
+            accesses_b.iter().any(|access_b| {
+                access_a.may_alias_with(access_b, |oa, ob| {
+                    let sa = self.points_to.local(self.cfg.owner(a), oa);
+                    let sb = self.points_to.local(self.cfg.owner(b), ob);
+                    sa.may_overlap(sb)
+                })
+            })
+        })
     }
 
     /// Splits candidates into survivors and pruned pairs with reasons,
@@ -460,6 +475,62 @@ mod tests {
     }
 
     #[test]
+    fn may_alias_refutes_distinct_constant_indices() {
+        let (program, filter) = filter_for(
+            r#"
+            global arr;
+            proc main() {
+                arr = new [4];
+                var a = arr;
+                var i = 2;
+                @e0 a[0] = 1;
+                @e0b var v = a[0];
+                @e1 a[1] = 2;
+                @ei a[i] = 3;
+            }
+            "#,
+        );
+        let at = |tag: &str| program.tagged_access(tag);
+        // Same constant cell: may alias.
+        assert!(filter.may_alias(&program, at("e0"), at("e0b")));
+        // Distinct constant cells of the same array: provably disjoint.
+        assert!(!filter.may_alias(&program, at("e0"), at("e1")));
+        // A register index can equal any constant.
+        assert!(filter.may_alias(&program, at("e0"), at("ei")));
+        assert!(filter.may_alias(&program, at("e1"), at("ei")));
+    }
+
+    #[test]
+    fn disjoint_constant_indices_are_footprint_refuted() {
+        let (program, filter) = filter_for(
+            r#"
+            global arr;
+            proc worker() { var a = arr; @w a[0] = 1; }
+            proc main() {
+                arr = new [4];
+                var a = arr;
+                var t = spawn worker();
+                @m a[1] = 2;
+                @same a[0] = 3;
+                join t;
+            }
+            "#,
+        );
+        // Parallel, unlocked, escaped — only the footprint separates the
+        // cells. Regression for the prior pessimization where any two
+        // element accesses on overlapping bases were treated as
+        // overlapping regardless of constant indices.
+        let disjoint = RacePair::new(program.tagged_access("w"), program.tagged_access("m"));
+        assert_eq!(
+            filter.refute(&program, &disjoint),
+            Some(PruneReason::FootprintNoAlias)
+        );
+        // The same-cell pair must stay unrefuted (it is a real race).
+        let same = RacePair::new(program.tagged_access("w"), program.tagged_access("same"));
+        assert_eq!(filter.refute(&program, &same), None);
+    }
+
+    #[test]
     fn confined_object_is_refuted() {
         let (program, filter) = filter_for(
             r#"
@@ -509,6 +580,7 @@ mod tests {
             PruneReason::MhpImpossible,
             PruneReason::CommonLock,
             PruneReason::ThreadConfined,
+            PruneReason::FootprintNoAlias,
         ] {
             assert_eq!(PruneReason::from_tag(reason.tag()), Some(reason));
         }

@@ -596,6 +596,46 @@ mod tests {
     }
 
     #[test]
+    fn distinct_constant_indices_raise_no_access_lints() {
+        // Two threads touching provably different cells of the same array:
+        // the footprint index refutation keeps the candidate set (and so
+        // the access lints) empty, while a same-cell write pair is still
+        // flagged at its source span.
+        let (_, clean) = lint(
+            r#"
+            global arr;
+            proc worker() { var a = arr; a[0] = 1; }
+            proc main() {
+                arr = new [4];
+                var a = arr;
+                var t = spawn worker();
+                a[1] = 2;
+                join t;
+            }
+            "#,
+        );
+        assert_eq!(clean, vec![], "disjoint cells must not be flagged");
+        let (_, racy) = lint(
+            r#"
+            global arr;
+            proc worker() { var a = arr; a[0] = 1; }
+            proc main() {
+                arr = new [4];
+                var a = arr;
+                var t = spawn worker();
+                a[0] = 2;
+                join t;
+            }
+            "#,
+        );
+        assert!(
+            kinds(&racy).contains(&LintKind::UnprotectedSharedAccess),
+            "{racy:?}"
+        );
+        assert!(racy.iter().all(|d| d.span.line > 0));
+    }
+
+    #[test]
     fn gate_lock_suppresses_the_cycle() {
         let (_, diagnostics) = lint(
             r#"

@@ -217,7 +217,7 @@ fn quick_options(engine: ExecEngine, base_seed: u64) -> AnalyzeOptions {
     options.fuzz.max_steps = 50_000;
     // Alternate scheduler configurations across cases so the random sweep
     // covers both without doubling its runtime.
-    options.fuzz.switch_only_at_sync = base_seed % 2 == 0;
+    options.fuzz.switch_only_at_sync = base_seed.is_multiple_of(2);
     options
 }
 

@@ -207,6 +207,123 @@ proptest! {
     }
 }
 
+/// One statement in a generated array-worker body: element accesses with
+/// constant or register indices on a shared array. Distinct constant
+/// indices are exactly what the `FootprintNoAlias` refutation separates,
+/// so these programs give it genuine pruning work while the dynamic
+/// detector (element-index-precise) confirms the same-cell races.
+#[derive(Clone, Copy, Debug)]
+enum ElemOp {
+    ReadConst(u8),
+    WriteConst(u8),
+    ReadVar(u8),
+    WriteVar(u8),
+}
+
+fn arb_elem_op(cells: u8) -> impl Strategy<Value = ElemOp> {
+    prop_oneof![
+        (0..cells).prop_map(ElemOp::ReadConst),
+        (0..cells).prop_map(ElemOp::WriteConst),
+        (0..cells).prop_map(ElemOp::ReadVar),
+        (0..cells).prop_map(ElemOp::WriteVar),
+    ]
+}
+
+fn arb_elem_program(cells: u8) -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        proptest::collection::vec(arb_elem_op(cells), 1..6),
+        1..4,
+    )
+    .prop_map(move |threads| render_elem_program(cells, &threads))
+}
+
+fn render_elem_program(cells: u8, threads: &[Vec<ElemOp>]) -> String {
+    use std::fmt::Write as _;
+    let mut source = String::from("global arr;\n");
+    for (t, body) in threads.iter().enumerate() {
+        let _ = writeln!(source, "proc worker{t}() {{");
+        source.push_str("    var tmp = 0;\n    var a = arr;\n    var i = 0;\n");
+        for op in body {
+            match op {
+                ElemOp::ReadConst(c) => {
+                    let _ = writeln!(source, "    tmp = a[{c}];");
+                }
+                ElemOp::WriteConst(c) => {
+                    let _ = writeln!(source, "    a[{c}] = tmp + 1;");
+                }
+                ElemOp::ReadVar(c) => {
+                    let _ = writeln!(source, "    i = {c};\n    tmp = a[i];");
+                }
+                ElemOp::WriteVar(c) => {
+                    let _ = writeln!(source, "    i = {c};\n    a[i] = tmp + 1;");
+                }
+            }
+        }
+        source.push_str("}\n");
+    }
+    let _ = writeln!(source, "proc main() {{\n    arr = new [{cells}];");
+    for t in 0..threads.len() {
+        let _ = writeln!(source, "    var t{t} = spawn worker{t}();");
+    }
+    for t in 0..threads.len() {
+        let _ = writeln!(source, "    join t{t};");
+    }
+    source.push_str("}\n");
+    source
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The soundness contract under the `FootprintNoAlias` refutation:
+    /// on array programs where the only separation between cells is the
+    /// element index, enabling the filter never changes which races
+    /// Phase 2 confirms, nothing pruned was confirmed, and every
+    /// footprint-refuted pair really is two distinct constant indices.
+    #[test]
+    fn footprint_pruning_never_loses_a_confirmed_race(source in arb_elem_program(3)) {
+        let program = cil::compile(&source).expect("generated source compiles");
+        let baseline = analyze(&program, "main", &options(false)).expect("analysis runs");
+        let filtered = analyze(&program, "main", &options(true)).expect("analysis runs");
+
+        let baseline_real: BTreeSet<_> = baseline.real_races().into_iter().collect();
+        let filtered_real: BTreeSet<_> = filtered.real_races().into_iter().collect();
+        prop_assert_eq!(
+            &baseline_real,
+            &filtered_real,
+            "filter changed confirmed races\n{}",
+            source
+        );
+        for (pair, reason) in &filtered.pruned {
+            prop_assert!(
+                !baseline_real.contains(pair),
+                "pruned pair {:?} ({reason}) was confirmed by the baseline\n{}",
+                pair,
+                source
+            );
+            if *reason == PruneReason::FootprintNoAlias {
+                let image = program.bytecode();
+                let [a, b] = pair.instrs();
+                let idx_of = |pc| match image.accesses_of(pc).first().map(|access| access.place) {
+                    Some(cil::bytecode::AbstractPlace::Elem { idx, .. }) => Some(idx),
+                    _ => None,
+                };
+                if let (
+                    Some(cil::bytecode::FootprintIdx::Const(ia)),
+                    Some(cil::bytecode::FootprintIdx::Const(ib)),
+                ) = (idx_of(a), idx_of(b))
+                {
+                    prop_assert!(
+                        ia != ib,
+                        "footprint refutation on equal constant indices\n{}",
+                        source
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The same soundness bar on the real benchmark models: no race a short
 /// fuzzing campaign confirms on any Table-1 workload is statically refuted.
 #[test]
